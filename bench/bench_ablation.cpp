@@ -1,0 +1,127 @@
+// Ablations of the design choices DESIGN.md calls out (not in the paper):
+//  (a) SSA pooling scales/weights — single-scale vs the paper's {1,2,4};
+//  (b) NT noise-band factors — flat vs the magnitude-banded Eq. 4;
+//  (c) OVT anchor weight — drift control vs adaptation headroom.
+#include "bench_common.hpp"
+
+using namespace nvcim;
+
+int main() {
+  bench::print_header("Ablations — SSA scales, NT bands, OVT anchoring");
+  core::ExperimentOptions opts = bench::scaled_options();
+  opts.buffer_size = 25;
+  const auto dev = nvm::fefet3();
+  const double sigma = 0.1;
+
+  // (a) SSA scale-set ablation: exact CPU retrieval variants on encoded OVT
+  // keys under synthetic storage noise (isolates the search algorithm).
+  std::printf("\n--- (a) retrieval scale-set ablation (synthetic keys, σ=%.2f) ---\n", sigma);
+  {
+    Rng rng(1);
+    const std::size_t n_keys = 16, len = 384;
+    std::vector<Matrix> keys;
+    for (std::size_t k = 0; k < n_keys; ++k) {
+      Matrix key(1, len, 0.0f);
+      for (std::size_t j = 0; j < len / n_keys; ++j) key(0, k * (len / n_keys) + j) = 1.0f;
+      keys.push_back(key);
+    }
+    struct Variant {
+      const char* name;
+      retrieval::ScaledSearchConfig cfg;
+    };
+    std::vector<Variant> variants;
+    variants.push_back({"scale {1} (MIPS)", {{1}, {1.0f}}});
+    variants.push_back({"scale {2}", {{2}, {1.0f}}});
+    variants.push_back({"scale {4}", {{4}, {1.0f}}});
+    variants.push_back({"paper {1,2,4}/{1,.8,.6}", {}});
+    variants.push_back({"uniform {1,2,4}/{1,1,1}", {{1, 2, 4}, {1.0f, 1.0f, 1.0f}}});
+
+    for (const auto& v : variants) {
+      std::size_t hits = 0, trials = 0;
+      Rng qr(7);
+      for (int rep = 0; rep < 120; ++rep) {
+        const std::size_t target = qr.uniform_index(n_keys);
+        Matrix q = keys[target];
+        for (std::size_t i = 0; i < q.size(); ++i)
+          q.at_flat(i) += static_cast<float>(qr.normal(0.0, 1.4));
+        // Noisy stored keys (fresh draw per trial, emulating device noise).
+        std::vector<Matrix> noisy = keys;
+        for (auto& k : noisy)
+          for (std::size_t i = 0; i < k.size(); ++i)
+            k.at_flat(i) += static_cast<float>(qr.normal(0.0, 0.8));
+        hits += retrieval::ssa_retrieve_exact(q, noisy, v.cfg) == target ? 1 : 0;
+        ++trials;
+      }
+      std::printf("%-26s retrieval accuracy %.3f\n", v.name,
+                  static_cast<double>(hits) / static_cast<double>(trials));
+    }
+  }
+
+  // (b) NT band ablation on the end-to-end pipeline.
+  std::printf("\n--- (b) NT noise-band ablation (Phi-2, LaMP-1, mean over 5 devices, σ=%.2f) ---\n",
+              sigma);
+  {
+    core::ExperimentContext ctx(llm::phi2_sim(), data::lamp1_config(), opts);
+    const core::MethodSpec no_nt{"no NT", false, mitigation::Kind::None,
+                                 retrieval::Algorithm::SSA};
+    const core::MethodSpec with_nt{"banded NT (Eq.4)", true, mitigation::Kind::None,
+                                   retrieval::Algorithm::SSA};
+    eval::MeanAccumulator m_no, m_nt;
+    for (const auto& d : nvm::table2_devices()) {
+      m_no.add(ctx.evaluate(no_nt, d, sigma));
+      m_nt.add(ctx.evaluate(with_nt, d, sigma));
+    }
+    std::printf("%-22s %.3f\n", no_nt.name.c_str(), m_no.mean());
+    std::printf("%-22s %.3f\n", with_nt.name.c_str(), m_nt.mean());
+  }
+
+  // (c) anchor-weight ablation: oracle per-domain OVT quality and AE
+  // encodability as the proximal weight varies.
+  std::printf("\n--- (c) OVT anchor-weight ablation (Phi-2, LaMP-1) ---\n");
+  {
+    data::LampTask task(data::lamp1_config());
+    llm::TinyLM model = llm::build_pretrained(llm::phi2_sim(), task.vocab_size(), opts.max_seq,
+                                              task.pretraining_corpus(2000, 1), 42);
+    compress::AutoencoderConfig ae_cfg;
+    ae_cfg.input_dim = model.config().d_model;
+    ae_cfg.steps = 600;
+    compress::Autoencoder ae(ae_cfg);
+    Rng rng(5);
+    {
+      std::vector<Matrix> rows;
+      for (int i = 0; i < 64; ++i)
+        rows.push_back(model.embed(task.sample(rng.uniform_index(6), rng).input));
+      ae.train(rows);
+    }
+    std::printf("%-10s %10s %14s\n", "anchor", "oracle acc", "AE rel err");
+    for (float anchor : {0.0f, 0.1f, 0.3f, 1.0f}) {
+      eval::MeanAccumulator acc, err;
+      for (std::size_t d = 0; d < task.config().n_domains; ++d) {
+        std::vector<llm::TrainExample> ex;
+        std::vector<data::Sample> ss;
+        for (int i = 0; i < 5; ++i) {
+          ss.push_back(task.sample(d, rng));
+          ex.push_back(ss.back().example);
+        }
+        llm::TunerConfig tc;
+        tc.steps = 60;
+        tc.seed = 100 + d;
+        tc.anchor_weight = anchor;
+        tc.init = resample_rows(model.embed(ss[0].input), tc.n_virtual_tokens);
+        const Matrix ovt = llm::SoftPromptTuner(tc).train(model, ex);
+        const Matrix r8 = resample_rows(ovt, 8);
+        const Matrix rec = ae.decode(ae.encode(r8));
+        err.add((rec - r8).frobenius_norm() / r8.frobenius_norm());
+        for (int i = 0; i < 20; ++i) {
+          const data::Sample q = task.sample(d, rng);
+          acc.add(model.classify(q.input, task.label_ids(), &ovt) ==
+                          static_cast<std::size_t>(q.label)
+                      ? 1.0
+                      : 0.0);
+        }
+      }
+      std::printf("%-10.1f %10.3f %14.3f\n", anchor, acc.mean(), err.mean());
+    }
+  }
+  return 0;
+}

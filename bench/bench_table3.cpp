@@ -1,0 +1,37 @@
+// Table III: buffer-size sweep (10..60 samples) on NVM-3 (FeFET3) with
+// σ = 0.1, Phi-2 on LaMP-5 — the representative-selection study.
+#include "bench_common.hpp"
+
+using namespace nvcim;
+
+int main() {
+  bench::print_header("Table III — buffer-size sweep (NVM-3, σ=0.1, Phi-2, LaMP-5)");
+  const auto methods = core::table1_methods();
+  const auto device = nvm::fefet3();
+
+  std::printf("%-12s", "buffer");
+  for (const auto& m : methods) std::printf(" %13s", m.name.c_str());
+  std::printf("\n");
+
+  for (std::size_t buffer : {10u, 20u, 30u, 40u, 50u, 60u}) {
+    core::ExperimentOptions opts = bench::scaled_options();
+    opts.buffer_size = buffer;
+    core::ExperimentContext ctx(llm::phi2_sim(), data::lamp5_config(), opts);
+    std::printf("%-12zu", buffer);
+    double best = -1.0;
+    std::size_t best_i = 0;
+    for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+      const double v = ctx.evaluate(methods[mi], device, 0.1);
+      if (v > best) {
+        best = v;
+        best_i = mi;
+      }
+      std::printf(" %13.3f", v);
+    }
+    std::printf("  << %s\n", methods[best_i].name.c_str());
+  }
+  std::printf("\nExpected shape (paper): NVCiM-PT leads at every size; medium\n"
+              "buffers (~30) peak because Eq. 2 grants enough clusters without\n"
+              "diluting each domain's training signal.\n");
+  return 0;
+}

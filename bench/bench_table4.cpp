@@ -1,0 +1,37 @@
+// Table IV: device-variation sweep σ ∈ {0.025..0.150} on NVM-3 (FeFET3),
+// Phi-2 on LaMP-5, buffer 20 — the noise-aware-training study.
+#include "bench_common.hpp"
+
+using namespace nvcim;
+
+int main() {
+  bench::print_header("Table IV — device-variation sweep (NVM-3, Phi-2, LaMP-5, buffer 20)");
+  const auto methods = core::table1_methods();
+  const auto device = nvm::fefet3();
+
+  core::ExperimentOptions opts = bench::scaled_options();
+  opts.buffer_size = 20;
+  core::ExperimentContext ctx(llm::phi2_sim(), data::lamp5_config(), opts);
+
+  std::printf("%-12s", "sigma");
+  for (const auto& m : methods) std::printf(" %13s", m.name.c_str());
+  std::printf("\n");
+
+  for (double sigma : {0.025, 0.050, 0.075, 0.100, 0.125, 0.150}) {
+    std::printf("%-12.3f", sigma);
+    double best = -1.0;
+    std::size_t best_i = 0;
+    for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+      const double v = ctx.evaluate(methods[mi], device, sigma);
+      if (v > best) {
+        best = v;
+        best_i = mi;
+      }
+      std::printf(" %13.3f", v);
+    }
+    std::printf("  << %s\n", methods[best_i].name.c_str());
+  }
+  std::printf("\nExpected shape (paper): slow degradation with σ for every method;\n"
+              "NVCiM-PT stays on top across the sweep.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Noise resilience walk-through: the effect of the paper's Eq. 4 noise-aware
+// training on one OVT, visualized as an accuracy-vs-σ curve.
+//
+// For one latent domain we train two OVTs (plain and noise-aware), push both
+// through the autoencoder + NVM storage path at increasing device variation,
+// and measure in-domain classification accuracy of the restored prompts.
+
+#include <cstdio>
+
+#include "nvcim/compress/autoencoder.hpp"
+#include "nvcim/core/noise.hpp"
+#include "nvcim/data/lamp.hpp"
+#include "nvcim/eval/metrics.hpp"
+#include "nvcim/llm/profiles.hpp"
+#include "nvcim/llm/tuners.hpp"
+#include "nvcim/mitigation/methods.hpp"
+
+using namespace nvcim;
+
+int main() {
+  data::LampTask task(data::lamp2_config());
+  llm::TinyLM model = llm::build_pretrained(llm::phi2_sim(), task.vocab_size(), 48,
+                                            task.pretraining_corpus(2000, 5), 13);
+
+  compress::AutoencoderConfig ae_cfg;
+  ae_cfg.input_dim = model.config().d_model;
+  ae_cfg.steps = 600;
+  compress::Autoencoder ae(ae_cfg);
+  Rng rng(3);
+  {
+    std::vector<Matrix> rows;
+    for (int i = 0; i < 64; ++i)
+      rows.push_back(model.embed(task.sample(rng.uniform_index(6), rng).input));
+    ae.train(rows);
+  }
+
+  const std::size_t domain = 2;
+  std::vector<llm::TrainExample> examples;
+  std::vector<data::Sample> ss;
+  for (int i = 0; i < 5; ++i) {
+    ss.push_back(task.sample(domain, rng));
+    examples.push_back(ss.back().example);
+  }
+
+  llm::TunerConfig plain_cfg;
+  plain_cfg.steps = 60;
+  plain_cfg.seed = 17;
+  plain_cfg.init = resample_rows(model.embed(ss[0].input), plain_cfg.n_virtual_tokens);
+  const Matrix ovt_plain = llm::SoftPromptTuner(plain_cfg).train(model, examples);
+
+  std::printf("Accuracy of restored OVT prompts vs device variation (domain %zu)\n\n", domain);
+  std::printf("%-8s %12s %12s %16s\n", "sigma", "plain OVT", "NT OVT", "payload rel err");
+
+  mitigation::NoMitigation store;
+  const cim::CrossbarConfig xbar;
+  for (double sigma : {0.0, 0.1, 0.2, 0.35, 0.5, 0.7}) {
+    // NT trained at the deployment σ (as the framework does).
+    llm::TunerConfig nt_cfg = plain_cfg;
+    core::NoiseBandConfig bands;
+    bands.sigma = sigma;
+    nt_cfg.perturb = core::make_noise_hook(bands);
+    const Matrix ovt_nt = llm::SoftPromptTuner(nt_cfg).train(model, examples);
+
+    eval::MeanAccumulator acc_plain, acc_nt, rel;
+    for (int rep = 0; rep < 4; ++rep) {
+      Rng srng(500 + rep);
+      auto through = [&](const Matrix& ovt) {
+        const Matrix code = ae.encode(resample_rows(ovt, plain_cfg.n_virtual_tokens));
+        Rng r = srng.split(static_cast<std::uint64_t>(&ovt == &ovt_nt));
+        return ae.decode(store.store_and_restore(code, xbar, {nvm::fefet3(), sigma}, r));
+      };
+      const Matrix p_plain = through(ovt_plain);
+      const Matrix p_nt = through(ovt_nt);
+      rel.add((p_plain - ae.decode(ae.encode(resample_rows(ovt_plain, 8)))).frobenius_norm() /
+              ae.decode(ae.encode(resample_rows(ovt_plain, 8))).frobenius_norm());
+      Rng qr(900 + rep);
+      for (int i = 0; i < 25; ++i) {
+        const data::Sample q = task.sample(domain, qr);
+        acc_plain.add(model.classify(q.input, task.label_ids(), &p_plain) ==
+                              static_cast<std::size_t>(q.label)
+                          ? 1.0
+                          : 0.0);
+        acc_nt.add(model.classify(q.input, task.label_ids(), &p_nt) ==
+                           static_cast<std::size_t>(q.label)
+                       ? 1.0
+                       : 0.0);
+      }
+    }
+    std::printf("%-8.3f %12.3f %12.3f %16.3f\n", sigma, acc_plain.mean(), acc_nt.mean(),
+                rel.mean());
+  }
+  std::printf("\nEq. 4's banded injection concentrates robustness where cells are\n"
+              "noisiest (large-magnitude values on mid-range levels).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Personalized assistant scenario (the paper's motivating workload): a user
+// whose requests shift between latent task domains interacts with an edge
+// LLM over several sessions. Every time the on-device buffer fills,
+// NVCiM-PT enters training mode (RS -> NT -> SSA store); between fills it
+// serves queries from the NVM-resident OVT library.
+//
+// The example contrasts a "sessions" timeline for NVCiM-PT against a
+// one4all prompt that is re-tuned on each full buffer — showing how the
+// one4all prompt chases the latest domain while the OVT library accumulates
+// coverage.
+
+#include <cstdio>
+
+#include "nvcim/core/framework.hpp"
+#include "nvcim/llm/profiles.hpp"
+#include "nvcim/llm/tuners.hpp"
+
+using namespace nvcim;
+
+namespace {
+
+double session_accuracy(llm::TinyLM& model, const data::LampTask& task,
+                        core::NvcimPtFramework* fw, const Matrix* one4all,
+                        const std::vector<data::Sample>& queries) {
+  eval::MeanAccumulator acc;
+  for (const data::Sample& q : queries) {
+    std::size_t pred;
+    if (fw != nullptr) {
+      pred = fw->classify(q);
+    } else {
+      pred = model.classify(q.input, task.label_ids(), one4all);
+    }
+    acc.add(pred == static_cast<std::size_t>(q.label) ? 1.0 : 0.0);
+  }
+  return acc.mean();
+}
+
+}  // namespace
+
+int main() {
+  data::LampTask task(data::lamp2_config());  // multiclass tag prediction
+  const llm::LlmProfile profile = llm::gemma2b_sim();
+  std::printf("Personalized assistant on %s / %s\n", profile.name.c_str(),
+              task.config().name.c_str());
+  llm::TinyLM model = llm::build_pretrained(profile, task.vocab_size(), 48,
+                                            task.pretraining_corpus(2000, 21), 77);
+
+  // Three "sessions" of user activity: 20 interactions each, followed by a
+  // burst of 15 live queries drawn from the domains seen so far.
+  const data::UserData user = task.make_user(3, /*n_train=*/60, /*n_test=*/45);
+  std::printf("User domains:");
+  for (std::size_t d : user.domains) std::printf(" %zu", d);
+  std::printf("\n\n");
+
+  core::FrameworkConfig cfg;
+  cfg.variation = {nvm::rram4(), 0.1};  // NVM-4 device at paper-default σ
+  core::NvcimPtFramework framework(model, task, cfg);
+  framework.initialize_autoencoder(64);
+
+  data::DataBuffer buffer(20);
+  Matrix one4all;  // retuned from scratch on each full buffer
+
+  std::printf("%-10s %14s %14s %12s\n", "session", "NVCiM-PT acc", "one4all acc",
+              "stored OVTs");
+  for (int session = 0; session < 3; ++session) {
+    // Accumulate this session's interactions.
+    std::vector<data::Sample> session_train(
+        user.train.begin() + session * 20, user.train.begin() + (session + 1) * 20);
+    for (data::Sample& s : session_train)
+      if (buffer.push(std::move(s))) {
+        framework.train_from_buffer(buffer.samples());
+        std::vector<llm::TrainExample> examples;
+        for (const data::Sample& b : buffer.samples()) examples.push_back(b.example);
+        llm::TunerConfig o4a;
+        o4a.steps = 120;
+        o4a.seed = 1000 + session;
+        one4all = llm::SoftPromptTuner(o4a).train(model, examples);
+        buffer.clear();
+      }
+
+    // Serve queries.
+    const std::vector<data::Sample> queries(user.test.begin() + session * 15,
+                                            user.test.begin() + (session + 1) * 15);
+    const double acc_nvcim = session_accuracy(model, task, &framework, nullptr, queries);
+    const double acc_o4a =
+        session_accuracy(model, task, nullptr, one4all.empty() ? nullptr : &one4all, queries);
+    std::printf("%-10d %14.3f %14.3f %12zu\n", session + 1, acc_nvcim, acc_o4a,
+                framework.n_stored_ovts());
+  }
+
+  std::printf("\nThe OVT library grows with each buffer and keeps covering every\n"
+              "domain the user revisits, while the one4all prompt tracks only\n"
+              "the most recent buffer's mixture.\n");
+  return 0;
+}

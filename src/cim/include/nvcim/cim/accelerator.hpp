@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "nvcim/cim/crossbar.hpp"
+#include "nvcim/cim/quant.hpp"
+
+namespace nvcim::cim {
+
+/// A bank of subarrays holding a key matrix for in-memory similarity search:
+/// keys are stored column-wise (Kᵀ, shape len×n_keys) across a grid of
+/// 384×128 tiles, and query(x) computes x·Kᵀ — one inner product per stored
+/// key — entirely through the noisy crossbar MVMs.
+class Accelerator {
+ public:
+  Accelerator(CrossbarConfig cfg, nvm::VariationModel var, ProgramOptions opts = {})
+      : cfg_(cfg), var_(var), opts_(opts) {}
+
+  /// Store `keys` (n_keys × len, one key per row). Quantizes to int16 with a
+  /// single global scale and programs every tile. May be called again to
+  /// restore with different contents.
+  void store(const Matrix& keys, Rng& rng);
+
+  /// Inner products of the 1×len query against every stored key (1×n_keys),
+  /// computed via crossbar MVM; result is dequantized back to float scale.
+  Matrix query(const Matrix& x);
+
+  /// Noise-free reference result for diagnostics.
+  Matrix query_ideal(const Matrix& x) const;
+
+  std::size_t n_keys() const { return n_keys_; }
+  std::size_t key_len() const { return key_len_; }
+  std::size_t n_tiles() const { return tiles_.size(); }
+
+  OpCounters counters() const;
+  void reset_counters();
+
+  const CrossbarConfig& config() const { return cfg_; }
+  const nvm::VariationModel& variation() const { return var_; }
+
+ private:
+  CrossbarConfig cfg_;
+  nvm::VariationModel var_;
+  ProgramOptions opts_;
+  Matrix keys_ref_;  ///< dequantized reference of what was stored
+  float scale_ = 1.0f;
+  std::size_t n_keys_ = 0;
+  std::size_t key_len_ = 0;
+  std::size_t row_tiles_ = 0;
+  std::size_t col_tiles_ = 0;
+  std::vector<Crossbar> tiles_;  ///< row-major [row_tile][col_tile]
+};
+
+}  // namespace nvcim::cim

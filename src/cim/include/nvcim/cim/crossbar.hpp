@@ -1,0 +1,100 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "nvcim/nvm/device.hpp"
+#include "nvcim/tensor/matrix.hpp"
+
+namespace nvcim::cim {
+
+/// Geometry and conversion parameters of one NVCiM subarray. The defaults
+/// follow the paper: 384×128 subarrays of 2-bit cells holding int16 values,
+/// which bit-slices to 8 cell planes per polarity.
+struct CrossbarConfig {
+  std::size_t rows = 384;
+  std::size_t cols = 128;
+  std::size_t bits_per_cell = 2;
+  std::size_t value_bits = 16;  ///< integer precision of stored values
+  std::size_t adc_bits = 8;     ///< 0 = ideal (no ADC quantization)
+  bool differential = true;     ///< signed values as G+ − G− cell pairs
+
+  std::size_t levels() const { return 1ull << bits_per_cell; }
+  std::size_t n_slices() const {
+    const std::size_t magnitude_bits = value_bits - (differential ? 1 : 0);
+    return (magnitude_bits + bits_per_cell - 1) / bits_per_cell;
+  }
+};
+
+/// Options controlling programming (write) behaviour.
+struct ProgramOptions {
+  double verify_tolerance = 0.0;       ///< 0 disables write-verify
+  std::size_t max_write_iterations = 1;
+  /// Optional rows×cols mask: entries > 0 get write-verify (SWV's
+  /// "selective"); entries == 0 use a single blind write.
+  const Matrix* verify_mask = nullptr;
+};
+
+/// Counters accumulated across operations, consumed by the PerfModel.
+struct OpCounters {
+  std::size_t subarray_activations = 0;  ///< one slice-plane MVM each
+  std::size_t adc_conversions = 0;
+  std::size_t cells_programmed = 0;
+  std::size_t write_pulses = 0;
+
+  OpCounters& operator+=(const OpCounters& o) {
+    subarray_activations += o.subarray_activations;
+    adc_conversions += o.adc_conversions;
+    cells_programmed += o.cells_programmed;
+    write_pulses += o.write_pulses;
+    return *this;
+  }
+};
+
+/// Functional model of a single NVM crossbar subarray with bit-sliced,
+/// differential multi-level cells. Programming draws the per-cell conductance
+/// noise once (spatial variation persists across reads); the analog MVM then
+/// reads those noisy conductances, with per-slice ADC quantization.
+class Crossbar {
+ public:
+  explicit Crossbar(CrossbarConfig cfg = {}) : cfg_(cfg) {}
+
+  const CrossbarConfig& config() const { return cfg_; }
+
+  /// Program an integer matrix (entries in [-qmax, qmax], exact integers)
+  /// of shape at most rows×cols. Smaller matrices occupy the top-left corner.
+  void program(const Matrix& int_values, const nvm::VariationModel& var, Rng& rng,
+               const ProgramOptions& opts = {});
+
+  /// y = x · W for x of shape m×r (r = programmed rows). Returns m×c in the
+  /// stored-integer scale. Non-const: accumulates op counters.
+  Matrix matvec(const Matrix& x);
+
+  /// Ideal (noise-free, ADC-free) reference of the programmed content.
+  const Matrix& programmed_reference() const { return reference_; }
+
+  /// Cell-wise readback of the stored values: reconstructs each integer from
+  /// its (noisy) analog slice levels. This models reading a payload matrix
+  /// back out of NVM storage.
+  Matrix read_values() const;
+
+  std::size_t active_rows() const { return active_rows_; }
+  std::size_t active_cols() const { return active_cols_; }
+
+  const OpCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = {}; }
+
+ private:
+  double adc_quantize(double analog, double full_scale) const;
+
+  CrossbarConfig cfg_;
+  // slice planes of analog cell levels (0..levels-1 plus noise), per polarity
+  std::vector<Matrix> pos_planes_;
+  std::vector<Matrix> neg_planes_;
+  Matrix reference_;
+  std::size_t active_rows_ = 0;
+  std::size_t active_cols_ = 0;
+  OpCounters counters_;
+};
+
+}  // namespace nvcim::cim

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "nvcim/tensor/matrix.hpp"
+
+namespace nvcim::cim {
+
+/// Symmetric int quantization of a float matrix: q = round(x / scale) with
+/// scale = max|x| / qmax. Values are kept in a float Matrix whose entries are
+/// exact integers in [-qmax, qmax] — the storage format the crossbar
+/// programs. Default 16-bit matches the paper's "precision of int16".
+struct QuantizedMatrix {
+  Matrix q;          ///< integer-valued entries
+  float scale = 1.0f;
+  int bits = 16;
+
+  Matrix dequantize() const { return q * scale; }
+};
+
+QuantizedMatrix quantize_symmetric(const Matrix& x, int bits = 16);
+
+/// Max representable magnitude for a symmetric b-bit integer.
+inline long qmax_for_bits(int bits) { return (1L << (bits - 1)) - 1; }
+
+}  // namespace nvcim::cim

@@ -1,0 +1,67 @@
+#include "nvcim/cim/accelerator.hpp"
+
+namespace nvcim::cim {
+
+void Accelerator::store(const Matrix& keys, Rng& rng) {
+  NVCIM_CHECK_MSG(keys.rows() > 0 && keys.cols() > 0, "empty key matrix");
+  n_keys_ = keys.rows();
+  key_len_ = keys.cols();
+
+  QuantizedMatrix q = quantize_symmetric(keys, static_cast<int>(cfg_.value_bits));
+  scale_ = q.scale;
+  keys_ref_ = q.q * q.scale;
+
+  const Matrix kt = q.q.transposed();  // len × n_keys
+  row_tiles_ = (key_len_ + cfg_.rows - 1) / cfg_.rows;
+  col_tiles_ = (n_keys_ + cfg_.cols - 1) / cfg_.cols;
+  tiles_.clear();
+  tiles_.reserve(row_tiles_ * col_tiles_);
+
+  for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+    const std::size_t r0 = rt * cfg_.rows;
+    const std::size_t r1 = std::min(r0 + cfg_.rows, key_len_);
+    for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
+      const std::size_t c0 = ct * cfg_.cols;
+      const std::size_t c1 = std::min(c0 + cfg_.cols, n_keys_);
+      Crossbar xb(cfg_);
+      Rng tile_rng = rng.split(rt * 7919 + ct);
+      xb.program(kt.row_slice(r0, r1).col_slice(c0, c1), var_, tile_rng, opts_);
+      tiles_.push_back(std::move(xb));
+    }
+  }
+}
+
+Matrix Accelerator::query(const Matrix& x) {
+  NVCIM_CHECK_MSG(!tiles_.empty(), "no keys stored");
+  NVCIM_CHECK_MSG(x.rows() == 1 && x.cols() == key_len_,
+                  "query must be 1x" << key_len_);
+  Matrix y(1, n_keys_, 0.0f);
+  for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+    const std::size_t r0 = rt * cfg_.rows;
+    const std::size_t r1 = std::min(r0 + cfg_.rows, key_len_);
+    const Matrix xs = x.col_slice(r0, r1);
+    for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
+      const std::size_t c0 = ct * cfg_.cols;
+      Matrix part = tiles_[rt * col_tiles_ + ct].matvec(xs);
+      for (std::size_t c = 0; c < part.cols(); ++c) y(0, c0 + c) += part(0, c);
+    }
+  }
+  return y * scale_;
+}
+
+Matrix Accelerator::query_ideal(const Matrix& x) const {
+  NVCIM_CHECK_MSG(keys_ref_.rows() == n_keys_, "no keys stored");
+  return matmul_nt(x, keys_ref_);
+}
+
+OpCounters Accelerator::counters() const {
+  OpCounters c;
+  for (const Crossbar& t : tiles_) c += t.counters();
+  return c;
+}
+
+void Accelerator::reset_counters() {
+  for (Crossbar& t : tiles_) t.reset_counters();
+}
+
+}  // namespace nvcim::cim

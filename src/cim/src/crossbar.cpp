@@ -1,0 +1,123 @@
+#include "nvcim/cim/crossbar.hpp"
+
+#include <cmath>
+
+#include "nvcim/cim/quant.hpp"
+
+namespace nvcim::cim {
+
+void Crossbar::program(const Matrix& int_values, const nvm::VariationModel& var, Rng& rng,
+                       const ProgramOptions& opts) {
+  NVCIM_CHECK_MSG(int_values.rows() <= cfg_.rows && int_values.cols() <= cfg_.cols,
+                  "matrix " << int_values.rows() << "x" << int_values.cols()
+                            << " exceeds subarray " << cfg_.rows << "x" << cfg_.cols);
+  NVCIM_CHECK_MSG(var.device.n_levels == cfg_.levels(),
+                  "device level count must match bits_per_cell");
+  active_rows_ = int_values.rows();
+  active_cols_ = int_values.cols();
+  reference_ = int_values;
+
+  const std::size_t S = cfg_.n_slices();
+  const long level_mask = static_cast<long>(cfg_.levels()) - 1;
+  const double denorm = static_cast<double>(cfg_.levels() - 1);
+  const long vmax = qmax_for_bits(static_cast<int>(cfg_.value_bits));
+
+  pos_planes_.assign(S, Matrix(active_rows_, active_cols_, 0.0f));
+  neg_planes_.assign(S, Matrix(active_rows_, active_cols_, 0.0f));
+
+  for (std::size_t r = 0; r < active_rows_; ++r) {
+    for (std::size_t c = 0; c < active_cols_; ++c) {
+      const double vf = int_values(r, c);
+      NVCIM_CHECK_MSG(std::fabs(vf - std::round(vf)) < 1e-3,
+                      "crossbar expects integer-valued entries");
+      long v = static_cast<long>(std::llround(vf));
+      NVCIM_CHECK_MSG(std::labs(v) <= vmax, "value " << v << " exceeds int" << cfg_.value_bits);
+      long pos = v > 0 ? v : 0;
+      long neg = v < 0 ? -v : 0;
+      if (!cfg_.differential) {
+        NVCIM_CHECK_MSG(v >= 0, "non-differential crossbar requires non-negative values");
+        neg = 0;
+      }
+      const bool verify =
+          opts.verify_tolerance > 0.0 &&
+          (opts.verify_mask == nullptr || (*opts.verify_mask)(r, c) > 0.0f);
+      for (std::size_t s = 0; s < S; ++s) {
+        const long pn = (pos >> (s * cfg_.bits_per_cell)) & level_mask;
+        const long nn = (neg >> (s * cfg_.bits_per_cell)) & level_mask;
+        auto program_one = [&](long nibble) -> double {
+          const double normalized = static_cast<double>(nibble) / denorm;
+          if (verify) {
+            auto wv = nvm::write_verify_cell(normalized, var, rng, opts.verify_tolerance,
+                                             opts.max_write_iterations);
+            counters_.write_pulses += wv.pulses;
+            return wv.conductance * denorm;
+          }
+          counters_.write_pulses += 1;
+          return nvm::program_cell(normalized, var, rng) * denorm;
+        };
+        pos_planes_[s](r, c) = static_cast<float>(program_one(pn));
+        if (cfg_.differential) neg_planes_[s](r, c) = static_cast<float>(program_one(nn));
+        counters_.cells_programmed += cfg_.differential ? 2 : 1;
+      }
+    }
+  }
+}
+
+Matrix Crossbar::read_values() const {
+  NVCIM_CHECK_MSG(active_rows_ > 0, "crossbar not programmed");
+  const std::size_t S = cfg_.n_slices();
+  Matrix out(active_rows_, active_cols_, 0.0f);
+  for (std::size_t s = 0; s < S; ++s) {
+    const double shift = std::pow(2.0, static_cast<double>(s * cfg_.bits_per_cell));
+    for (std::size_t r = 0; r < active_rows_; ++r)
+      for (std::size_t c = 0; c < active_cols_; ++c) {
+        double v = pos_planes_[s](r, c);
+        if (cfg_.differential) v -= neg_planes_[s](r, c);
+        out(r, c) += static_cast<float>(shift * v);
+      }
+  }
+  return out;
+}
+
+double Crossbar::adc_quantize(double analog, double full_scale) const {
+  if (cfg_.adc_bits == 0 || full_scale <= 0.0) return analog;
+  const double n_codes = static_cast<double>((1ull << cfg_.adc_bits) - 1);
+  const double lsb = full_scale / n_codes;
+  return std::round(analog / lsb) * lsb;
+}
+
+Matrix Crossbar::matvec(const Matrix& x) {
+  NVCIM_CHECK_MSG(active_rows_ > 0, "crossbar not programmed");
+  NVCIM_CHECK_MSG(x.cols() == active_rows_, "input width " << x.cols() << " != programmed rows "
+                                                           << active_rows_);
+  const std::size_t S = cfg_.n_slices();
+  const double denorm = static_cast<double>(cfg_.levels() - 1);
+  Matrix y(x.rows(), active_cols_, 0.0f);
+
+  for (std::size_t m = 0; m < x.rows(); ++m) {
+    // ADC full scale: the worst-case column current given this input vector
+    // (Σ|x_i| times the max cell level), per NeuroSim's input-referred model.
+    double abs_in = 0.0;
+    for (std::size_t i = 0; i < x.cols(); ++i) abs_in += std::fabs(x(m, i));
+    const double full_scale = abs_in * denorm;
+
+    for (std::size_t s = 0; s < S; ++s) {
+      const double shift = std::pow(2.0, static_cast<double>(s * cfg_.bits_per_cell));
+      counters_.subarray_activations += cfg_.differential ? 2 : 1;
+      for (std::size_t c = 0; c < active_cols_; ++c) {
+        double acc_pos = 0.0, acc_neg = 0.0;
+        for (std::size_t r = 0; r < active_rows_; ++r) {
+          acc_pos += static_cast<double>(x(m, r)) * pos_planes_[s](r, c);
+          if (cfg_.differential) acc_neg += static_cast<double>(x(m, r)) * neg_planes_[s](r, c);
+        }
+        counters_.adc_conversions += cfg_.differential ? 2 : 1;
+        const double v =
+            adc_quantize(acc_pos, full_scale) - adc_quantize(acc_neg, full_scale);
+        y(m, c) += static_cast<float>(shift * v);
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace nvcim::cim

@@ -1,0 +1,20 @@
+#include "nvcim/cim/quant.hpp"
+
+#include <cmath>
+
+namespace nvcim::cim {
+
+QuantizedMatrix quantize_symmetric(const Matrix& x, int bits) {
+  NVCIM_CHECK_MSG(bits >= 2 && bits <= 16, "quantization bits out of range");
+  QuantizedMatrix out;
+  out.bits = bits;
+  out.q = Matrix(x.rows(), x.cols());
+  const float ma = x.max_abs();
+  const float qmax = static_cast<float>(qmax_for_bits(bits));
+  out.scale = ma > 0.0f ? ma / qmax : 1.0f;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out.q.at_flat(i) = std::round(x.at_flat(i) / out.scale);
+  return out;
+}
+
+}  // namespace nvcim::cim

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "nvcim/tensor/matrix.hpp"
+
+namespace nvcim::cluster {
+
+struct KMeansResult {
+  std::vector<std::size_t> assignment;  ///< cluster index per point
+  std::vector<Matrix> centroids;        ///< 1×dim each
+  std::size_t k = 0;
+  double inertia = 0.0;                 ///< sum of squared distances to centroids
+  std::size_t iterations = 0;
+};
+
+struct KMeansConfig {
+  std::size_t max_iterations = 50;
+  double tolerance = 1e-6;  ///< stop when inertia improvement falls below this
+  std::uint64_t seed = 17;
+};
+
+/// Lloyd's k-means with k-means++ initialization over row-vector embeddings
+/// (each point a 1×dim Matrix). Implements the paper's Eq. 1.
+KMeansResult kmeans(const std::vector<Matrix>& points, std::size_t k,
+                    const KMeansConfig& cfg = {});
+
+/// The paper's Eq. 2: k = min(max(n_min + s·log2(bs/b0), n_min), n_max).
+struct KSelectionConfig {
+  std::size_t n_min = 2;
+  std::size_t n_max = 8;
+  double base_threshold = 5.0;  ///< b0
+  double scale = 1.5;           ///< s
+};
+
+std::size_t select_k(std::size_t buffer_size, const KSelectionConfig& cfg = {});
+
+/// The paper's Eq. 3: within cluster Ci pick argmin over cos_sim(e, mu(Ci)).
+/// (The paper writes argmin; interpreted as the member whose angle to the
+/// centroid is smallest would be argmax — we follow the formula's intent of
+/// "most representative" and return the member *closest* to the centroid,
+/// i.e. maximal cosine similarity. The argmin spelling is kept as an option
+/// for strict-paper mode.)
+enum class RepresentativeRule { ClosestToCentroid, PaperArgmin };
+
+std::vector<std::size_t> representatives(const std::vector<Matrix>& points,
+                                         const KMeansResult& clusters,
+                                         RepresentativeRule rule =
+                                             RepresentativeRule::ClosestToCentroid);
+
+}  // namespace nvcim::cluster

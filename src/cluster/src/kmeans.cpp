@@ -1,0 +1,151 @@
+#include "nvcim/cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace nvcim::cluster {
+namespace {
+
+double sq_distance(const Matrix& a, const Matrix& b) {
+  NVCIM_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a.at_flat(i)) - b.at_flat(i);
+    s += d * d;
+  }
+  return s;
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid.
+std::vector<Matrix> seed_centroids(const std::vector<Matrix>& points, std::size_t k, Rng& rng) {
+  std::vector<Matrix> centroids;
+  centroids.push_back(points[rng.uniform_index(points.size())]);
+  std::vector<double> d2(points.size(), 0.0);
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const Matrix& c : centroids) best = std::min(best, sq_distance(points[i], c));
+      d2[i] = best;
+      total += best;
+    }
+    std::size_t pick = 0;
+    if (total <= 0.0) {
+      pick = rng.uniform_index(points.size());
+    } else {
+      double u = rng.uniform() * total;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        u -= d2[i];
+        if (u <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    centroids.push_back(points[pick]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<Matrix>& points, std::size_t k, const KMeansConfig& cfg) {
+  NVCIM_CHECK_MSG(!points.empty(), "kmeans on empty point set");
+  k = std::min(k, points.size());
+  NVCIM_CHECK(k >= 1);
+  for (const Matrix& p : points)
+    NVCIM_CHECK_MSG(p.size() == points[0].size(), "points must share dimensionality");
+
+  Rng rng(cfg.seed);
+  KMeansResult res;
+  res.k = k;
+  res.centroids = seed_centroids(points, k, rng);
+  res.assignment.assign(points.size(), 0);
+
+  double prev_inertia = std::numeric_limits<double>::max();
+  for (std::size_t it = 0; it < cfg.max_iterations; ++it) {
+    res.iterations = it + 1;
+    // Assign.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t arg = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = sq_distance(points[i], res.centroids[c]);
+        if (d < best) {
+          best = d;
+          arg = c;
+        }
+      }
+      res.assignment[i] = arg;
+      inertia += best;
+    }
+    res.inertia = inertia;
+    // Update.
+    std::vector<Matrix> sums(k, Matrix(1, points[0].size(), 0.0f));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sums[res.assignment[i]] += points[i].flattened();
+      ++counts[res.assignment[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at the point farthest from its centroid.
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          const double d = sq_distance(points[i], res.centroids[res.assignment[i]]);
+          if (d > far_d) {
+            far_d = d;
+            far = i;
+          }
+        }
+        res.centroids[c] = points[far].flattened();
+      } else {
+        sums[c] *= 1.0f / static_cast<float>(counts[c]);
+        res.centroids[c] = sums[c];
+      }
+    }
+    if (prev_inertia - inertia < cfg.tolerance) break;
+    prev_inertia = inertia;
+  }
+  return res;
+}
+
+std::size_t select_k(std::size_t buffer_size, const KSelectionConfig& cfg) {
+  NVCIM_CHECK(cfg.n_min >= 1 && cfg.n_max >= cfg.n_min && cfg.base_threshold > 0.0);
+  const double ratio = static_cast<double>(buffer_size) / cfg.base_threshold;
+  const double grown =
+      static_cast<double>(cfg.n_min) + cfg.scale * std::log2(std::max(ratio, 1e-9));
+  const double inner = std::max(grown, static_cast<double>(cfg.n_min));
+  const double clamped = std::min(inner, static_cast<double>(cfg.n_max));
+  return static_cast<std::size_t>(std::llround(std::floor(clamped)));
+}
+
+std::vector<std::size_t> representatives(const std::vector<Matrix>& points,
+                                         const KMeansResult& clusters,
+                                         RepresentativeRule rule) {
+  std::vector<std::size_t> reps;
+  for (std::size_t c = 0; c < clusters.k; ++c) {
+    double best = rule == RepresentativeRule::ClosestToCentroid
+                      ? -std::numeric_limits<double>::max()
+                      : std::numeric_limits<double>::max();
+    std::size_t arg = points.size();  // sentinel: empty cluster
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (clusters.assignment[i] != c) continue;
+      const double cs = cosine_similarity(points[i], clusters.centroids[c]);
+      const bool better =
+          rule == RepresentativeRule::ClosestToCentroid ? cs > best : cs < best;
+      if (better || arg == points.size()) {
+        best = cs;
+        arg = i;
+      }
+    }
+    if (arg != points.size()) reps.push_back(arg);
+  }
+  return reps;
+}
+
+}  // namespace nvcim::cluster

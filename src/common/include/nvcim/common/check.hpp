@@ -1,0 +1,47 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nvcim {
+
+/// Error thrown on violated preconditions / invariants anywhere in the
+/// library. All NVCIM_CHECK* macros throw this type so callers can catch a
+/// single exception class at API boundaries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "NVCIM_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace nvcim
+
+/// Precondition check that is always active (release builds included): the
+/// library is a simulator whose correctness matters more than the last few
+/// percent of speed, so shape/parameter validation stays on.
+#define NVCIM_CHECK(expr)                                                \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::nvcim::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define NVCIM_CHECK_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream nvcim_check_os_;                                \
+      nvcim_check_os_ << msg;                                            \
+      ::nvcim::detail::throw_check_failure(#expr, __FILE__, __LINE__,    \
+                                           nvcim_check_os_.str());       \
+    }                                                                    \
+  } while (0)

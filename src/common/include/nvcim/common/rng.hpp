@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace nvcim {
+
+/// Deterministic, splittable pseudo-random generator used throughout the
+/// simulator. Wraps xoshiro256** seeded via SplitMix64 so that results are
+/// bit-identical across standard libraries and platforms (std::distributions
+/// are implementation-defined and would break experiment reproducibility).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Derive an independent stream; `salt` distinguishes children of the same
+  /// parent (e.g. one stream per crossbar tile or per user).
+  Rng split(std::uint64_t salt) const;
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).  Requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+  /// Standard normal via Box–Muller (cached spare value).
+  double normal();
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Fisher–Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Sample k distinct indices from [0, n) (k <= n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+ private:
+  std::uint64_t s_[4] = {};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace nvcim

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "nvcim/nn/layers.hpp"
+#include "nvcim/nn/optim.hpp"
+
+namespace nvcim::compress {
+
+/// Deep-Compression-style autoencoder that maps d-dimensional token rows to
+/// a fixed-width code whose precision is NVM-compatible (the paper's
+/// "embedding size of 48 and precision of int16"). tanh bounds the code to
+/// [-1, 1] so int16 symmetric quantization covers the full range.
+struct AutoencoderConfig {
+  std::size_t input_dim = 32;
+  std::size_t code_dim = 48;
+  std::size_t hidden_dim = 64;
+  std::size_t steps = 300;
+  std::size_t batch_size = 16;
+  float lr = 1e-2f;
+  std::uint64_t seed = 23;
+  /// Denoising-style training augmentation: each batch row is a random
+  /// convex mixture of two data rows, scale-jittered and Gaussian-perturbed.
+  /// Prompt-tuned OVTs drift away from the raw embedding manifold, so the
+  /// encoder must generalize to a neighbourhood of it, not memorize it.
+  bool augment = true;
+  float augment_noise_std = 0.15f;   ///< relative to the row RMS
+  float augment_scale_lo = 0.6f;
+  float augment_scale_hi = 1.8f;
+};
+
+class Autoencoder {
+ public:
+  explicit Autoencoder(AutoencoderConfig cfg);
+
+  const AutoencoderConfig& config() const { return cfg_; }
+
+  /// Train from scratch on row vectors (each Matrix is n×input_dim; rows are
+  /// pooled together). Returns the final reconstruction MSE.
+  float train(const std::vector<Matrix>& data);
+
+  /// Incremental refresh on new data (the paper updates the autoencoder with
+  /// the buffer leftovers after representative selection).
+  float update(const std::vector<Matrix>& data, std::size_t steps);
+
+  /// Encode n×input_dim rows to n×code_dim (values in [-1, 1]).
+  Matrix encode(const Matrix& x) const;
+  /// Decode n×code_dim codes back to n×input_dim.
+  Matrix decode(const Matrix& code) const;
+
+  /// Mean squared reconstruction error of x (n×input_dim).
+  float reconstruction_error(const Matrix& x) const;
+
+ private:
+  float run_training(const std::vector<Matrix>& data, std::size_t steps, bool reset_opt);
+  Matrix stack_rows(const std::vector<Matrix>& data) const;
+
+  AutoencoderConfig cfg_;
+  nn::Linear enc1_, enc2_, dec1_, dec2_;
+  std::size_t opt_steps_done_ = 0;
+};
+
+}  // namespace nvcim::compress

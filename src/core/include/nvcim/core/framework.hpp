@@ -1,0 +1,91 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nvcim/cluster/kmeans.hpp"
+#include "nvcim/compress/autoencoder.hpp"
+#include "nvcim/core/noise.hpp"
+#include "nvcim/data/lamp.hpp"
+#include "nvcim/eval/metrics.hpp"
+#include "nvcim/llm/model.hpp"
+#include "nvcim/llm/tuners.hpp"
+#include "nvcim/mitigation/methods.hpp"
+#include "nvcim/retrieval/search.hpp"
+
+namespace nvcim::core {
+
+/// End-to-end configuration of NVCiM-PT for one deployment.
+struct FrameworkConfig {
+  cluster::KSelectionConfig k_select;
+  cluster::KMeansConfig kmeans;
+  llm::TunerConfig tuner;              ///< OVT prompt-tuning recipe
+  bool noise_aware = true;             ///< enable NT (Eq. 4) during PT
+  NoiseBandConfig noise_bands;         ///< Eq. 4 parameters
+  compress::AutoencoderConfig autoencoder;  ///< input_dim overwritten from the model
+  cim::CrossbarConfig crossbar;        ///< 384×128, 2-bit cells by default
+  nvm::VariationModel variation;       ///< device + global σ
+  retrieval::Algorithm retrieval_algorithm = retrieval::Algorithm::SSA;
+  retrieval::ScaledSearchConfig ssa;
+  mitigation::Kind payload_mitigation = mitigation::Kind::None;
+  std::uint64_t seed = 99;
+};
+
+/// The NVCiM-assisted prompt-tuning framework (paper Fig. 3), owning the
+/// full loop for one user deployment:
+///  training mode  — representative selection (RS) over a full buffer,
+///                   noise-aware prompt tuning (NT) of one OVT per
+///                   representative, autoencoder refresh on the leftovers,
+///                   encoding and NVM storage of the OVTs (payload through
+///                   the configured mitigation path, retrieval keys in the
+///                   SSA/MIPS crossbar banks);
+///  inference mode — encode the query embedding, retrieve the best OVT via
+///                   in-memory search, decode it and run the frozen LLM with
+///                   it as the soft prompt.
+class NvcimPtFramework {
+ public:
+  NvcimPtFramework(llm::TinyLM& model, const data::LampTask& task, FrameworkConfig cfg);
+
+  /// Pretrain the autoencoder on task-domain embeddings (the paper pretrains
+  /// it on user-generated data before deployment).
+  void initialize_autoencoder(std::size_t n_samples);
+
+  /// Training mode: consume a full buffer. May be called repeatedly; OVTs
+  /// accumulate and the NVM store is rewritten.
+  void train_from_buffer(const std::vector<data::Sample>& buffer);
+
+  /// Inference mode.
+  std::size_t retrieve_index(const data::Sample& query);
+  std::size_t classify(const data::Sample& query);
+  std::vector<int> generate(const data::Sample& query, Rng& rng);
+  /// Task-appropriate score for one query: classification → 0/1 correctness,
+  /// generation → ROUGE-1 F1.
+  double evaluate(const data::Sample& query, Rng& rng);
+
+  // ---- Introspection (tests / diagnostics) ----
+  std::size_t n_stored_ovts() const { return restored_prompts_.size(); }
+  const std::vector<Matrix>& restored_prompts() const { return restored_prompts_; }
+  const std::vector<std::size_t>& ovt_domains() const { return ovt_domains_; }
+  /// Encoded fixed-shape representation of a query (what retrieval sees).
+  Matrix query_representation(const data::Sample& query) const;
+  const compress::Autoencoder& autoencoder() const { return *autoenc_; }
+  std::size_t last_selected_k() const { return last_k_; }
+
+ private:
+  Matrix encode_tokens(const Matrix& rows) const;
+
+  llm::TinyLM* model_;
+  const data::LampTask* task_;
+  FrameworkConfig cfg_;
+  Rng rng_;
+  std::unique_ptr<compress::Autoencoder> autoenc_;
+  std::unique_ptr<retrieval::CimRetriever> retriever_;
+  std::unique_ptr<mitigation::MitigationMethod> mitigation_;
+
+  std::vector<Matrix> ovt_payload_codes_;   ///< clean encoded OVTs (write targets)
+  std::vector<Matrix> restored_prompts_;    ///< decoded NVM read-backs (what inference uses)
+  std::vector<std::size_t> ovt_domains_;    ///< ground-truth domain per OVT (diagnostics)
+  std::size_t last_k_ = 0;
+};
+
+}  // namespace nvcim::core

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "nvcim/llm/tuners.hpp"
+#include "nvcim/tensor/matrix.hpp"
+
+namespace nvcim::core {
+
+/// The paper's Eq. 4: magnitude-banded Gaussian noise injection for
+/// noise-aware training. Each element of the normalized virtual tokens
+/// Ŝ = S / max|S| selects one of four bands, whose factor multiplies the
+/// global σ; the resulting noise is scaled back by max|S|:
+///   S' = S + N · max|S|,  N_ij ~ N(0, (σ·f_band)²).
+///
+/// Band factors follow the Table II level structure (mid-range levels show
+/// the largest variation on the multi-level devices): the defaults put more
+/// noise on large-magnitude entries, which map to the upper cell levels.
+struct NoiseBandConfig {
+  double sigma = 0.1;  ///< global noise parameter (paper default)
+  double f1 = 1.0;     ///< |Ŝ| > 0.75
+  double f2 = 0.8;     ///< 0.5 ≤ |Ŝ| ≤ 0.75
+  double f3 = 0.6;     ///< 0.25 ≤ |Ŝ| < 0.5
+  double f4 = 0.4;     ///< |Ŝ| < 0.25
+
+  double factor_for(double s_hat_abs) const {
+    if (s_hat_abs > 0.75) return f1;
+    if (s_hat_abs >= 0.5) return f2;
+    if (s_hat_abs >= 0.25) return f3;
+    return f4;
+  }
+};
+
+/// One draw of Eq. 4 applied to virtual tokens S.
+Matrix inject_banded_noise(const Matrix& s, const NoiseBandConfig& cfg, Rng& rng);
+
+/// Wrap Eq. 4 as the tuner's perturbation hook.
+llm::PerturbFn make_noise_hook(const NoiseBandConfig& cfg);
+
+}  // namespace nvcim::core

@@ -1,0 +1,23 @@
+#include "nvcim/core/noise.hpp"
+
+#include <cmath>
+
+namespace nvcim::core {
+
+Matrix inject_banded_noise(const Matrix& s, const NoiseBandConfig& cfg, Rng& rng) {
+  const float ma = s.max_abs();
+  if (ma == 0.0f) return s;
+  Matrix out = s;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double s_hat = std::fabs(s.at_flat(i)) / ma;
+    const double stddev = cfg.sigma * cfg.factor_for(s_hat);
+    out.at_flat(i) += static_cast<float>(rng.normal(0.0, stddev) * ma);
+  }
+  return out;
+}
+
+llm::PerturbFn make_noise_hook(const NoiseBandConfig& cfg) {
+  return [cfg](const Matrix& s, Rng& rng) { return inject_banded_noise(s, cfg, rng); };
+}
+
+}  // namespace nvcim::core

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nvcim/common/check.hpp"
+#include "nvcim/common/rng.hpp"
+#include "nvcim/llm/example.hpp"
+#include "nvcim/llm/tokenizer.hpp"
+
+namespace nvcim::data {
+
+/// Synthetic stand-ins for the LaMP personalization benchmarks.
+///
+/// Mechanism (mirrors the paper's domain-shift story): every sample belongs
+/// to a latent *domain* — the user's current task context. The mapping from
+/// content words to the label (classification) or to the output words
+/// (generation) depends on that domain. The input itself carries only a weak
+/// domain cue (a topic word shared between two adjacent domains), so a model
+/// without extra context faces irreducible ambiguity. The pretraining corpus
+/// contains a fraction of samples with an *explicit* domain token, so the
+/// backbone learns the domain-conditional mapping; user-time inputs omit that
+/// token. A virtual-token prompt tuned on samples from one domain therefore
+/// acts as the missing domain context — exactly the role OVTs play in
+/// NVCiM-PT — while a one4all prompt can only commit to one domain of a
+/// shifted stream.
+enum class TaskKind { Classification, Generation };
+
+struct LampConfig {
+  std::string name;
+  TaskKind kind = TaskKind::Classification;
+  std::size_t n_labels = 2;            ///< classification only
+  std::size_t n_domains = 6;           ///< global latent-domain pool
+  std::size_t domains_per_user = 3;
+  std::size_t n_content_words = 12;
+  std::size_t n_out_words = 12;        ///< generation only
+  std::size_t content_per_sample = 2;
+  std::size_t gen_len = 3;             ///< generation output length
+  std::size_t domain_stride = 1;       ///< how strongly the domain rotates the mapping
+  std::size_t shift_block = 5;         ///< stream block length between domain shifts
+  double explicit_domain_frac = 0.7;   ///< pretraining samples with explicit domain token
+  std::uint64_t seed = 1234;
+};
+
+/// The five benchmark configurations used across the paper's tables.
+LampConfig lamp1_config();  ///< binary classification (citation matching stand-in)
+LampConfig lamp2_config();  ///< multiclass tag classification
+LampConfig lamp3_config();  ///< 5-way rating prediction
+LampConfig lamp5_config();  ///< generation (scholarly title stand-in)
+LampConfig lamp7_config();  ///< generation (tweet paraphrase stand-in)
+std::vector<LampConfig> all_lamp_configs();
+
+/// A user-generated data sample: token-level input/completion plus the
+/// latent-domain ground truth (used only for diagnostics, never by the
+/// framework itself — matching the paper's "labels do not exist" setting).
+struct Sample {
+  std::vector<int> input;       ///< [bos, cue, w..., sep]
+  std::vector<int> completion;  ///< [label] or out words, with trailing eos
+  std::size_t domain = 0;
+  int label = -1;               ///< classification index, -1 for generation
+  llm::TrainExample example;    ///< loss-masked training view
+};
+
+struct UserData {
+  std::size_t user_id = 0;
+  std::vector<std::size_t> domains;  ///< this user's latent domains
+  std::vector<Sample> train;         ///< domain-shifted stream
+  std::vector<Sample> test;
+};
+
+class LampTask {
+ public:
+  explicit LampTask(LampConfig cfg);
+
+  const LampConfig& config() const { return cfg_; }
+  const llm::Tokenizer& tokenizer() const { return tok_; }
+  std::size_t vocab_size() const { return tok_.vocab_size(); }
+  int eos_id() const { return tok_.eos_id(); }
+
+  /// Token ids of the label words (classification tasks).
+  const std::vector<int>& label_ids() const { return label_ids_; }
+
+  /// Draw a sample from the given domain. `explicit_domain` injects the
+  /// domain token after <bos> (pretraining only).
+  Sample sample(std::size_t domain, Rng& rng, bool explicit_domain = false) const;
+
+  /// Mixed-domain corpus used to pretrain the backbone.
+  std::vector<llm::TrainExample> pretraining_corpus(std::size_t n, std::uint64_t seed) const;
+
+  /// A user with `domains_per_user` latent domains, a domain-shifted training
+  /// stream of n_train samples, and n_test uniform test queries.
+  UserData make_user(std::size_t user_id, std::size_t n_train, std::size_t n_test) const;
+
+  /// Reference completion words (without eos) for ROUGE scoring.
+  static std::vector<int> reference_words(const Sample& s);
+
+ private:
+  int cue_token(std::size_t domain, Rng& rng) const;
+
+  LampConfig cfg_;
+  llm::Tokenizer tok_;
+  std::vector<int> domain_ids_;   ///< explicit domain tokens
+  std::vector<int> cue_ids_;      ///< cue i is shared by domains i and i+1
+  std::vector<int> content_ids_;
+  std::vector<int> out_ids_;
+  std::vector<int> label_ids_;
+};
+
+/// Fixed-capacity FIFO buffer holding the user-generated samples awaiting
+/// prompt tuning (the paper's on-device data buffer).
+class DataBuffer {
+ public:
+  explicit DataBuffer(std::size_t capacity) : capacity_(capacity) {
+    NVCIM_CHECK(capacity > 0);
+  }
+
+  /// Returns true if the buffer is full after the push (training trigger).
+  bool push(Sample s);
+  bool full() const { return samples_.size() >= capacity_; }
+  std::size_t size() const { return samples_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const std::vector<Sample>& samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace nvcim::data

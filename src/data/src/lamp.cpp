@@ -1,0 +1,180 @@
+#include "nvcim/data/lamp.hpp"
+
+#include <algorithm>
+
+namespace nvcim::data {
+
+LampConfig lamp1_config() {
+  LampConfig c;
+  c.name = "LaMP-1";
+  c.kind = TaskKind::Classification;
+  c.n_labels = 2;
+  c.seed = 101;
+  return c;
+}
+
+LampConfig lamp2_config() {
+  LampConfig c;
+  c.name = "LaMP-2";
+  c.kind = TaskKind::Classification;
+  c.n_labels = 6;  // the paper's 15 tags, scaled to the synthetic vocabulary
+  c.seed = 102;
+  return c;
+}
+
+LampConfig lamp3_config() {
+  LampConfig c;
+  c.name = "LaMP-3";
+  c.kind = TaskKind::Classification;
+  c.n_labels = 5;  // rating 1..5
+  c.seed = 103;
+  return c;
+}
+
+LampConfig lamp5_config() {
+  LampConfig c;
+  c.name = "LaMP-5";
+  c.kind = TaskKind::Generation;
+  c.gen_len = 3;
+  c.seed = 105;
+  return c;
+}
+
+LampConfig lamp7_config() {
+  LampConfig c;
+  c.name = "LaMP-7";
+  c.kind = TaskKind::Generation;
+  c.gen_len = 4;
+  c.domain_stride = 2;
+  c.seed = 107;
+  return c;
+}
+
+std::vector<LampConfig> all_lamp_configs() {
+  return {lamp1_config(), lamp2_config(), lamp3_config(), lamp5_config(), lamp7_config()};
+}
+
+LampTask::LampTask(LampConfig cfg) : cfg_(std::move(cfg)) {
+  NVCIM_CHECK(cfg_.n_domains >= 2 && cfg_.domains_per_user <= cfg_.n_domains);
+  NVCIM_CHECK(cfg_.content_per_sample >= 1 && cfg_.content_per_sample <= cfg_.n_content_words);
+  for (std::size_t d = 0; d < cfg_.n_domains; ++d)
+    domain_ids_.push_back(tok_.id_of("dom" + std::to_string(d)));
+  for (std::size_t i = 0; i < cfg_.n_domains; ++i)
+    cue_ids_.push_back(tok_.id_of("cue" + std::to_string(i)));
+  for (std::size_t i = 0; i < cfg_.n_content_words; ++i)
+    content_ids_.push_back(tok_.id_of("w" + std::to_string(i)));
+  if (cfg_.kind == TaskKind::Generation) {
+    for (std::size_t i = 0; i < cfg_.n_out_words; ++i)
+      out_ids_.push_back(tok_.id_of("o" + std::to_string(i)));
+  } else {
+    for (std::size_t i = 0; i < cfg_.n_labels; ++i)
+      label_ids_.push_back(tok_.id_of("L" + std::to_string(i)));
+  }
+  tok_.freeze();
+}
+
+int LampTask::cue_token(std::size_t domain, Rng& rng) const {
+  // Cue i is shared by domains i and i+1 (mod D): domain d may emit cue d-1
+  // or cue d, so a single cue leaves two candidate domains.
+  const std::size_t D = cfg_.n_domains;
+  const std::size_t pick = rng.uniform() < 0.5 ? (domain + D - 1) % D : domain;
+  return cue_ids_[pick];
+}
+
+Sample LampTask::sample(std::size_t domain, Rng& rng, bool explicit_domain) const {
+  NVCIM_CHECK(domain < cfg_.n_domains);
+  Sample s;
+  s.domain = domain;
+  s.input.push_back(tok_.bos_id());
+  // Pretraining-only context: the domain token(s) go into the reserved
+  // prompt-slot region (with variable length so every slot position gets
+  // trained), teaching the backbone to read latent context exactly where a
+  // tuned soft prompt will later sit.
+  std::vector<int> prefix;
+  if (explicit_domain) {
+    const std::size_t n_ctx = 1 + rng.uniform_index(3);
+    prefix.assign(n_ctx, domain_ids_[domain]);
+  }
+  // One cue drawn per sample and emitted twice: the cue is shared between
+  // two adjacent domains, so the input alone never pins the domain down
+  // (irreducible ambiguity that the prompt must resolve), while the repeated
+  // token keeps the cue prominent in pooled embeddings for retrieval.
+  const int cue = cue_token(domain, rng);
+  s.input.push_back(cue);
+  s.input.push_back(cue);
+
+  std::vector<std::size_t> content(cfg_.content_per_sample);
+  for (auto& c : content) {
+    c = rng.uniform_index(cfg_.n_content_words);
+    s.input.push_back(content_ids_[c]);
+  }
+  s.input.push_back(tok_.sep_id());
+
+  // Domain-conditional mappings keyed on the *first* content word (the rest
+  // are distractors): learnable by a small transformer, yet irreducibly
+  // ambiguous without the domain context.
+  if (cfg_.kind == TaskKind::Classification) {
+    s.label = static_cast<int>((content[0] + domain * cfg_.domain_stride) % cfg_.n_labels);
+    s.completion = {label_ids_[static_cast<std::size_t>(s.label)], tok_.eos_id()};
+  } else {
+    // Each output word transforms the corresponding content word under the
+    // domain's rotation.
+    for (std::size_t j = 0; j < cfg_.gen_len; ++j) {
+      const std::size_t c = content[j % content.size()];
+      s.completion.push_back(
+          out_ids_[(c + (j + 1) * domain * cfg_.domain_stride) % cfg_.n_out_words]);
+    }
+    s.completion.push_back(tok_.eos_id());
+  }
+  s.example = llm::make_example(s.input, s.completion, prefix);
+  return s;
+}
+
+std::vector<llm::TrainExample> LampTask::pretraining_corpus(std::size_t n,
+                                                            std::uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<llm::TrainExample> corpus;
+  corpus.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t d = rng.uniform_index(cfg_.n_domains);
+    const bool explicit_domain = rng.uniform() < cfg_.explicit_domain_frac;
+    corpus.push_back(sample(d, rng, explicit_domain).example);
+  }
+  return corpus;
+}
+
+UserData LampTask::make_user(std::size_t user_id, std::size_t n_train,
+                             std::size_t n_test) const {
+  Rng rng(cfg_.seed ^ (0xC0FFEEull + user_id * 0x9E3779B9ull));
+  UserData u;
+  u.user_id = user_id;
+  u.domains = rng.sample_without_replacement(cfg_.n_domains, cfg_.domains_per_user);
+
+  // Domain-shifted stream: contiguous blocks, cycling through the user's
+  // domains — the setting in which a one4all prompt keeps getting stale.
+  std::size_t block = 0;
+  for (std::size_t i = 0; i < n_train; ++i) {
+    if (i > 0 && i % cfg_.shift_block == 0) ++block;
+    const std::size_t d = u.domains[block % u.domains.size()];
+    u.train.push_back(sample(d, rng));
+  }
+  for (std::size_t i = 0; i < n_test; ++i) {
+    const std::size_t d = u.domains[rng.uniform_index(u.domains.size())];
+    u.test.push_back(sample(d, rng));
+  }
+  return u;
+}
+
+std::vector<int> LampTask::reference_words(const Sample& s) {
+  std::vector<int> ref = s.completion;
+  if (!ref.empty()) ref.pop_back();  // strip eos
+  return ref;
+}
+
+bool DataBuffer::push(Sample s) {
+  NVCIM_CHECK_MSG(!full(), "push into a full buffer; call clear() after training");
+  samples_.push_back(std::move(s));
+  return full();
+}
+
+}  // namespace nvcim::data

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace nvcim::eval {
+
+/// ROUGE-1 unigram overlap between a hypothesis and a reference token
+/// sequence (clipped counts, as in Lin 2004).
+struct Rouge1 {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+Rouge1 rouge1(const std::vector<int>& hypothesis, const std::vector<int>& reference);
+
+/// ROUGE-L: longest-common-subsequence based P/R/F1 (Lin 2004). Order-aware
+/// counterpart to ROUGE-1, useful for the generation tasks' diagnostics.
+struct RougeL {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+RougeL rouge_l(const std::vector<int>& hypothesis, const std::vector<int>& reference);
+
+/// Wilson score interval for a binomial proportion — the confidence band we
+/// quote for the accuracy cells of Tables I/III/IV.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z = 1.96);
+
+/// Streaming mean accumulator used by every experiment harness.
+class MeanAccumulator {
+ public:
+  void add(double v) {
+    sum_ += v;
+    ++n_;
+  }
+  double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  std::size_t count() const { return n_; }
+
+ private:
+  double sum_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace nvcim::eval

@@ -1,0 +1,70 @@
+#include "nvcim/eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace nvcim::eval {
+
+Rouge1 rouge1(const std::vector<int>& hypothesis, const std::vector<int>& reference) {
+  Rouge1 r;
+  if (hypothesis.empty() || reference.empty()) return r;
+  std::unordered_map<int, std::size_t> ref_counts;
+  for (int t : reference) ++ref_counts[t];
+  std::size_t overlap = 0;
+  for (int t : hypothesis) {
+    auto it = ref_counts.find(t);
+    if (it != ref_counts.end() && it->second > 0) {
+      ++overlap;
+      --it->second;
+    }
+  }
+  r.precision = static_cast<double>(overlap) / static_cast<double>(hypothesis.size());
+  r.recall = static_cast<double>(overlap) / static_cast<double>(reference.size());
+  r.f1 = (r.precision + r.recall) > 0.0
+             ? 2.0 * r.precision * r.recall / (r.precision + r.recall)
+             : 0.0;
+  return r;
+}
+
+RougeL rouge_l(const std::vector<int>& hypothesis, const std::vector<int>& reference) {
+  RougeL r;
+  if (hypothesis.empty() || reference.empty()) return r;
+  // Classic O(n·m) LCS dynamic program (sequences here are short).
+  const std::size_t n = hypothesis.size(), m = reference.size();
+  std::vector<std::size_t> prev(m + 1, 0), cur(m + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      cur[j] = hypothesis[i - 1] == reference[j - 1] ? prev[j - 1] + 1
+                                                     : std::max(prev[j], cur[j - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  const double lcs = static_cast<double>(prev[m]);
+  r.precision = lcs / static_cast<double>(n);
+  r.recall = lcs / static_cast<double>(m);
+  r.f1 = (r.precision + r.recall) > 0.0
+             ? 2.0 * r.precision * r.recall / (r.precision + r.recall)
+             : 0.0;
+  return r;
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  Interval iv;
+  if (trials == 0) {
+    iv.hi = 1.0;
+    return iv;
+  }
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  iv.lo = std::max(0.0, center - margin);
+  iv.hi = std::min(1.0, center + margin);
+  return iv;
+}
+
+}  // namespace nvcim::eval

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <vector>
+
+namespace nvcim::llm {
+
+/// One training/evaluation example for the causal LM. `targets[j]` is the
+/// token id the model must predict at sequence position j (normally
+/// tokens[j+1]); positions with target -1 are excluded from the loss, which
+/// is how the harness restricts learning to the completion part of a prompt.
+struct TrainExample {
+  std::vector<int> tokens;
+  std::vector<int> targets;
+  /// Optional context tokens whose embeddings are placed (right-aligned) in
+  /// the reserved prompt-slot positions instead of the token sequence. The
+  /// pretraining corpus uses this to teach the backbone that the prompt
+  /// region carries latent context (e.g. the user's domain) — the positions
+  /// a tuned soft prompt occupies later.
+  std::vector<int> prefix_tokens;
+};
+
+/// Build a TrainExample from an (input, completion) pair: loss is applied
+/// only on the completion tokens (and on predicting the first completion
+/// token from the last input token). `prefix` fills prefix_tokens.
+TrainExample make_example(const std::vector<int>& input, const std::vector<int>& completion,
+                          const std::vector<int>& prefix = {});
+
+}  // namespace nvcim::llm

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nvcim/llm/example.hpp"
+#include "nvcim/nn/layers.hpp"
+#include "nvcim/nn/optim.hpp"
+
+namespace nvcim::llm {
+
+using autograd::Var;
+
+struct TinyLmConfig {
+  std::size_t vocab = 64;
+  std::size_t d_model = 32;
+  std::size_t n_layers = 2;
+  std::size_t n_heads = 4;
+  std::size_t ffn_hidden = 64;
+  std::size_t max_seq = 96;  ///< covers prompt_slots + input + completion
+  /// Reserved positional slots for soft prompts. Real tokens always occupy
+  /// positions ≥ prompt_slots (with or without a prompt), so prepending
+  /// virtual tokens never shifts the token positions out of the pretraining
+  /// distribution; prompts right-align into the reserved region.
+  std::size_t prompt_slots = 16;
+};
+
+/// Per-layer trainable key/value prefix vars, as used by prefix tuning and
+/// P-tuning v2 ("deep prompts").
+using KvPrefixVars = std::vector<std::pair<Var, Var>>;
+
+/// Frozen per-layer KV prefix values for inference.
+using KvPrefixValues = std::vector<nn::KvPrefix>;
+
+/// Decoder-only causal transformer LM, small enough to pretrain in-process.
+/// Serves as the "edge LLM" substrate: the backbone is frozen during prompt
+/// tuning and only externally supplied virtual-token leaves receive
+/// gradients.
+class TinyLM {
+ public:
+  TinyLM(TinyLmConfig cfg, std::uint64_t seed);
+
+  const TinyLmConfig& config() const { return cfg_; }
+  /// Fresh registry of non-owning pointers to every parameter. Rebuilt per
+  /// call so the model keeps value semantics (moves don't dangle a cached
+  /// registry).
+  nn::ParamSet params();
+  std::size_t parameter_count() { return params().parameter_count(); }
+
+  /// Full differentiable forward. Returns logits rows aligned with `tokens`
+  /// (soft-prompt positions are sliced off). Optional adapters:
+  ///   - `soft_prompt`: n_sp×d rows prepended at the embedding level;
+  ///   - `kv_prefixes`: per-layer KV rows (size must equal n_layers);
+  ///   - `embed_delta`: additive V×d correction to the embedding table
+  ///     (DEPT-style low-rank update, already materialized by the caller).
+  Var logits(nn::Binder& bind, const std::vector<int>& tokens,
+             std::optional<Var> soft_prompt = std::nullopt,
+             const KvPrefixVars* kv_prefixes = nullptr,
+             std::optional<Var> embed_delta = std::nullopt);
+
+  /// Mean next-token cross-entropy of `ex` under the adapters.
+  Var loss(nn::Binder& bind, const TrainExample& ex,
+           std::optional<Var> soft_prompt = std::nullopt,
+           const KvPrefixVars* kv_prefixes = nullptr,
+           std::optional<Var> embed_delta = std::nullopt);
+
+  // ---- Inference conveniences (build & drop a private tape) ----
+
+  /// Logits matrix for the whole sequence.
+  Matrix logits_inference(const std::vector<int>& tokens, const Matrix* soft_prompt = nullptr,
+                          const KvPrefixValues* kv_prefixes = nullptr,
+                          const Matrix* embed_delta = nullptr) const;
+
+  /// Index into `label_ids` of the highest-logit label at the last position.
+  std::size_t classify(const std::vector<int>& tokens, const std::vector<int>& label_ids,
+                       const Matrix* soft_prompt = nullptr,
+                       const KvPrefixValues* kv_prefixes = nullptr,
+                       const Matrix* embed_delta = nullptr) const;
+
+  /// Autoregressive sampling with softmax temperature (0 = greedy).
+  std::vector<int> generate(const std::vector<int>& prompt, std::size_t max_new_tokens,
+                            float temperature, Rng& rng, int eos_id,
+                            const Matrix* soft_prompt = nullptr,
+                            const KvPrefixValues* kv_prefixes = nullptr,
+                            const Matrix* embed_delta = nullptr) const;
+
+  /// Token-embedding rows for a sequence (no positions); this is the E(x)
+  /// the framework clusters on and uses as the retrieval query.
+  Matrix embed(const std::vector<int>& tokens) const;
+
+  /// Mean-pooled single-row embedding of a sequence.
+  Matrix embed_mean(const std::vector<int>& tokens) const;
+
+  // Direct parameter access (used by weight quantization and tests).
+  nn::Param& token_embedding() { return tok_emb_; }
+  nn::Param& positional_embedding() { return pos_emb_; }
+  std::vector<nn::TransformerBlock>& blocks() { return blocks_; }
+  nn::Linear& lm_head() { return lm_head_; }
+
+ private:
+  Var forward_hidden(nn::Binder& bind, const std::vector<int>& tokens,
+                     std::optional<Var> soft_prompt, const KvPrefixVars* kv_prefixes,
+                     std::optional<Var> embed_delta, std::size_t& n_soft_out);
+
+  TinyLmConfig cfg_;
+  nn::Param tok_emb_;  ///< vocab × d
+  nn::Param pos_emb_;  ///< max_seq × d
+  std::vector<nn::TransformerBlock> blocks_;
+  nn::LayerNorm final_ln_;
+  nn::Linear lm_head_;
+};
+
+/// Round every Linear weight matrix (and the embedding tables) of the model
+/// to a symmetric `bits`-bit grid — the stand-in for a GPTQ-quantized edge
+/// checkpoint (Mistral-7B-GPTQ profile).
+void quantize_weights(TinyLM& model, int bits);
+
+}  // namespace nvcim::llm

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "nvcim/llm/model.hpp"
+
+namespace nvcim::llm {
+
+struct PretrainConfig {
+  std::size_t steps = 400;
+  std::size_t batch_size = 12;
+  float lr = 3e-3f;
+  float clip_norm = 1.0f;
+  std::uint64_t seed = 7;
+};
+
+/// Full-parameter training of the backbone on a corpus (the stand-in for the
+/// public pretraining the real edge checkpoints received). Returns the mean
+/// loss over the final 10% of steps.
+float pretrain(TinyLM& model, const std::vector<TrainExample>& corpus,
+               const PretrainConfig& cfg);
+
+/// Mean loss of the model over a set of examples (no gradient updates).
+float evaluate_loss(TinyLM& model, const std::vector<TrainExample>& examples);
+
+}  // namespace nvcim::llm

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nvcim/llm/model.hpp"
+#include "nvcim/llm/pretrain.hpp"
+
+namespace nvcim::llm {
+
+/// Architecture + pretraining recipe standing in for one of the paper's edge
+/// checkpoints. The three profiles differ in width/depth (and the Mistral
+/// profile is post-training quantized to 4 bits, simulating its GPTQ
+/// checkpoint) so that cross-model trends in the tables are meaningful.
+struct LlmProfile {
+  std::string name;
+  std::size_t d_model = 32;
+  std::size_t n_layers = 2;
+  std::size_t n_heads = 4;
+  std::size_t ffn_mult = 2;
+  int quant_bits = 0;  ///< 0 = fp32; >0 = symmetric post-training quantization
+  PretrainConfig pretrain;
+
+  TinyLmConfig make_config(std::size_t vocab, std::size_t max_seq) const {
+    TinyLmConfig c;
+    c.vocab = vocab;
+    c.d_model = d_model;
+    c.n_layers = n_layers;
+    c.n_heads = n_heads;
+    c.ffn_hidden = d_model * ffn_mult;
+    c.max_seq = max_seq;
+    return c;
+  }
+};
+
+LlmProfile gemma2b_sim();
+LlmProfile mistral7b_gptq_sim();
+LlmProfile phi2_sim();
+
+/// All three profiles, in the paper's Table I column order.
+std::vector<LlmProfile> edge_llm_profiles();
+
+/// Build + pretrain a backbone for the profile on the given corpus, applying
+/// the profile's post-training quantization if any.
+TinyLM build_pretrained(const LlmProfile& profile, std::size_t vocab, std::size_t max_seq,
+                        const std::vector<TrainExample>& corpus, std::uint64_t seed);
+
+}  // namespace nvcim::llm

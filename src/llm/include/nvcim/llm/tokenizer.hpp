@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace nvcim::llm {
+
+/// Whitespace word-level tokenizer with a dynamically built vocabulary and
+/// the usual special tokens. Used by the example applications and the
+/// synthetic LaMP-like generators (which emit word strings).
+class Tokenizer {
+ public:
+  Tokenizer();
+
+  /// Id of a word, inserting it into the vocabulary if `grow` (default)
+  /// and returning <unk> otherwise.
+  int id_of(const std::string& word, bool grow = true);
+  /// Lookup without growth; returns unk_id() for unknown words.
+  int lookup(const std::string& word) const;
+  const std::string& word_of(int id) const;
+
+  std::vector<int> encode(const std::string& text, bool grow = true);
+  std::string decode(const std::vector<int>& ids) const;
+
+  std::size_t vocab_size() const { return words_.size(); }
+
+  int pad_id() const { return 0; }
+  int unk_id() const { return 1; }
+  int bos_id() const { return 2; }
+  int eos_id() const { return 3; }
+  int sep_id() const { return 4; }
+
+  /// Freeze the vocabulary: id_of()/encode() stop growing it.
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<std::string> words_;
+  bool frozen_ = false;
+};
+
+}  // namespace nvcim::llm

@@ -1,0 +1,238 @@
+#include "nvcim/llm/model.hpp"
+
+#include <cmath>
+
+namespace nvcim::llm {
+
+TrainExample make_example(const std::vector<int>& input, const std::vector<int>& completion,
+                          const std::vector<int>& prefix) {
+  TrainExample ex;
+  ex.prefix_tokens = prefix;
+  ex.tokens = input;
+  ex.tokens.insert(ex.tokens.end(), completion.begin(), completion.end());
+  ex.targets.assign(ex.tokens.size(), -1);
+  // Position j predicts tokens[j+1]; train on predictions of completion tokens.
+  const std::size_t n_in = input.size();
+  NVCIM_CHECK_MSG(n_in >= 1, "input must be non-empty");
+  for (std::size_t j = n_in - 1; j + 1 < ex.tokens.size(); ++j)
+    ex.targets[j] = ex.tokens[j + 1];
+  return ex;
+}
+
+TinyLM::TinyLM(TinyLmConfig cfg, std::uint64_t seed) : cfg_(cfg) {
+  NVCIM_CHECK(cfg_.vocab > 0 && cfg_.d_model > 0 && cfg_.n_layers > 0);
+  Rng rng(seed);
+  tok_emb_ = nn::Param(nn::scaled_normal_init(cfg_.vocab, cfg_.d_model, cfg_.d_model, rng),
+                       "tok_emb");
+  pos_emb_ = nn::Param(nn::scaled_normal_init(cfg_.max_seq, cfg_.d_model, cfg_.d_model, rng),
+                       "pos_emb");
+  blocks_.reserve(cfg_.n_layers);
+  for (std::size_t l = 0; l < cfg_.n_layers; ++l)
+    blocks_.emplace_back(cfg_.d_model, cfg_.n_heads, cfg_.ffn_hidden, rng,
+                         "block" + std::to_string(l));
+  final_ln_ = nn::LayerNorm(cfg_.d_model, "final_ln");
+  lm_head_ = nn::Linear(cfg_.d_model, cfg_.vocab, rng, "lm_head");
+}
+
+nn::ParamSet TinyLM::params() {
+  nn::ParamSet ps;
+  ps.add(tok_emb_);
+  ps.add(pos_emb_);
+  for (auto& b : blocks_) b.collect(ps);
+  final_ln_.collect(ps);
+  lm_head_.collect(ps);
+  return ps;
+}
+
+Var TinyLM::forward_hidden(nn::Binder& bind, const std::vector<int>& tokens,
+                           std::optional<Var> soft_prompt, const KvPrefixVars* kv_prefixes,
+                           std::optional<Var> embed_delta, std::size_t& n_soft_out) {
+  autograd::Tape& t = bind.tape();
+  NVCIM_CHECK_MSG(!tokens.empty(), "empty token sequence");
+  if (kv_prefixes != nullptr)
+    NVCIM_CHECK_MSG(kv_prefixes->size() == cfg_.n_layers, "one KV prefix per layer required");
+
+  Var table = bind(tok_emb_);
+  if (embed_delta) table = t.add(table, *embed_delta);
+  Var x = t.embedding(table, tokens);
+
+  std::size_t n_soft = 0;
+  if (soft_prompt) {
+    NVCIM_CHECK_MSG(soft_prompt->value().cols() == cfg_.d_model,
+                    "soft prompt must have d_model columns");
+    n_soft = soft_prompt->value().rows();
+    x = t.concat_rows(*soft_prompt, x);
+  }
+  n_soft_out = n_soft;
+
+  NVCIM_CHECK_MSG(n_soft <= cfg_.prompt_slots,
+                  "soft prompt length " << n_soft << " exceeds prompt_slots "
+                                        << cfg_.prompt_slots);
+  NVCIM_CHECK_MSG(cfg_.prompt_slots + tokens.size() <= cfg_.max_seq,
+                  "sequence length exceeds max_seq " << cfg_.max_seq);
+  // Prompt rows right-align into the reserved slot region [0, prompt_slots);
+  // real tokens always sit at positions >= prompt_slots.
+  std::vector<int> pos_ids(n_soft + tokens.size());
+  for (std::size_t i = 0; i < n_soft; ++i)
+    pos_ids[i] = static_cast<int>(cfg_.prompt_slots - n_soft + i);
+  for (std::size_t i = 0; i < tokens.size(); ++i)
+    pos_ids[n_soft + i] = static_cast<int>(cfg_.prompt_slots + i);
+  x = t.add(x, t.embedding(bind(pos_emb_), pos_ids));
+
+  for (std::size_t l = 0; l < blocks_.size(); ++l) {
+    if (kv_prefixes != nullptr) {
+      const auto& [pk, pv] = (*kv_prefixes)[l];
+      x = blocks_[l].forward_with_prefix_vars(bind, x, pk, pv);
+    } else {
+      x = blocks_[l].forward_with_prefix_vars(bind, x, std::nullopt, std::nullopt);
+    }
+  }
+  return final_ln_.forward(bind, x);
+}
+
+Var TinyLM::logits(nn::Binder& bind, const std::vector<int>& tokens,
+                   std::optional<Var> soft_prompt, const KvPrefixVars* kv_prefixes,
+                   std::optional<Var> embed_delta) {
+  std::size_t n_soft = 0;
+  Var h = forward_hidden(bind, tokens, soft_prompt, kv_prefixes, embed_delta, n_soft);
+  Var z = lm_head_.forward(bind, h);
+  if (n_soft > 0) z = bind.tape().slice_rows(z, n_soft, n_soft + tokens.size());
+  return z;
+}
+
+Var TinyLM::loss(nn::Binder& bind, const TrainExample& ex, std::optional<Var> soft_prompt,
+                 const KvPrefixVars* kv_prefixes, std::optional<Var> embed_delta) {
+  NVCIM_CHECK_MSG(ex.tokens.size() == ex.targets.size(), "tokens/targets length mismatch");
+  if (!ex.prefix_tokens.empty()) {
+    NVCIM_CHECK_MSG(!soft_prompt.has_value(),
+                    "cannot combine prefix_tokens with an explicit soft prompt");
+    soft_prompt = bind.tape().embedding(bind(tok_emb_), ex.prefix_tokens);
+  }
+  Var z = logits(bind, ex.tokens, soft_prompt, kv_prefixes, embed_delta);
+  return bind.tape().cross_entropy(z, ex.targets);
+}
+
+Matrix TinyLM::logits_inference(const std::vector<int>& tokens, const Matrix* soft_prompt,
+                                const KvPrefixValues* kv_prefixes,
+                                const Matrix* embed_delta) const {
+  auto* self = const_cast<TinyLM*>(this);
+  autograd::Tape tape;
+  nn::Binder bind(tape, /*frozen=*/true);
+  std::optional<Var> sp;
+  if (soft_prompt != nullptr) sp = tape.leaf(*soft_prompt, false);
+  std::optional<Var> ed;
+  if (embed_delta != nullptr) ed = tape.leaf(*embed_delta, false);
+  KvPrefixVars kv_vars;
+  const KvPrefixVars* kv_ptr = nullptr;
+  if (kv_prefixes != nullptr) {
+    for (const auto& p : *kv_prefixes)
+      kv_vars.emplace_back(tape.leaf(p.key, false), tape.leaf(p.value, false));
+    kv_ptr = &kv_vars;
+  }
+  Var z = self->logits(bind, tokens, sp, kv_ptr, ed);
+  return z.value();
+}
+
+std::size_t TinyLM::classify(const std::vector<int>& tokens, const std::vector<int>& label_ids,
+                             const Matrix* soft_prompt, const KvPrefixValues* kv_prefixes,
+                             const Matrix* embed_delta) const {
+  NVCIM_CHECK(!label_ids.empty());
+  const Matrix z = logits_inference(tokens, soft_prompt, kv_prefixes, embed_delta);
+  const std::size_t last = z.rows() - 1;
+  std::size_t best = 0;
+  float best_logit = -1e30f;
+  for (std::size_t i = 0; i < label_ids.size(); ++i) {
+    const float v = z(last, static_cast<std::size_t>(label_ids[i]));
+    if (v > best_logit) {
+      best_logit = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<int> TinyLM::generate(const std::vector<int>& prompt, std::size_t max_new_tokens,
+                                  float temperature, Rng& rng, int eos_id,
+                                  const Matrix* soft_prompt, const KvPrefixValues* kv_prefixes,
+                                  const Matrix* embed_delta) const {
+  std::vector<int> seq = prompt;
+  std::vector<int> out;
+  for (std::size_t step = 0; step < max_new_tokens; ++step) {
+    if (cfg_.prompt_slots + seq.size() + 1 > cfg_.max_seq) break;
+    const Matrix z = logits_inference(seq, soft_prompt, kv_prefixes, embed_delta);
+    const std::size_t last = z.rows() - 1;
+    int next = 0;
+    if (temperature <= 1e-6f) {
+      float best = -1e30f;
+      for (std::size_t c = 0; c < z.cols(); ++c)
+        if (z(last, c) > best) {
+          best = z(last, c);
+          next = static_cast<int>(c);
+        }
+    } else {
+      // Temperature softmax sampling.
+      float mx = -1e30f;
+      for (std::size_t c = 0; c < z.cols(); ++c) mx = std::max(mx, z(last, c));
+      std::vector<double> p(z.cols());
+      double denom = 0.0;
+      for (std::size_t c = 0; c < z.cols(); ++c) {
+        p[c] = std::exp(static_cast<double>((z(last, c) - mx) / temperature));
+        denom += p[c];
+      }
+      double u = rng.uniform() * denom;
+      for (std::size_t c = 0; c < z.cols(); ++c) {
+        u -= p[c];
+        if (u <= 0.0) {
+          next = static_cast<int>(c);
+          break;
+        }
+      }
+    }
+    if (next == eos_id) break;
+    out.push_back(next);
+    seq.push_back(next);
+  }
+  return out;
+}
+
+Matrix TinyLM::embed(const std::vector<int>& tokens) const {
+  Matrix e(tokens.size(), cfg_.d_model);
+  for (std::size_t r = 0; r < tokens.size(); ++r) {
+    NVCIM_CHECK(tokens[r] >= 0 && static_cast<std::size_t>(tokens[r]) < cfg_.vocab);
+    for (std::size_t c = 0; c < cfg_.d_model; ++c)
+      e(r, c) = tok_emb_.value(static_cast<std::size_t>(tokens[r]), c);
+  }
+  return e;
+}
+
+Matrix TinyLM::embed_mean(const std::vector<int>& tokens) const {
+  const Matrix e = embed(tokens);
+  Matrix m(1, cfg_.d_model, 0.0f);
+  for (std::size_t r = 0; r < e.rows(); ++r)
+    for (std::size_t c = 0; c < e.cols(); ++c) m(0, c) += e(r, c);
+  m *= 1.0f / static_cast<float>(e.rows());
+  return m;
+}
+
+void quantize_weights(TinyLM& model, int bits) {
+  NVCIM_CHECK_MSG(bits >= 2 && bits <= 16, "quantization bits out of range");
+  const float qmax = static_cast<float>((1 << (bits - 1)) - 1);
+  auto quantize = [&](Matrix& w) {
+    const float ma = w.max_abs();
+    if (ma == 0.0f) return;
+    const float scale = ma / qmax;
+    for (std::size_t i = 0; i < w.size(); ++i)
+      w.at_flat(i) = std::round(w.at_flat(i) / scale) * scale;
+  };
+  nn::ParamSet ps = model.params();
+  for (nn::Param* p : ps.all()) {
+    // Quantize weight matrices and embedding tables; leave LayerNorm
+    // gains/biases and Linear biases in full precision (GPTQ convention).
+    const std::string& n = p->name;
+    const bool is_weight = n.size() >= 2 && n.compare(n.size() - 2, 2, ".w") == 0;
+    const bool is_embedding = n == "tok_emb" || n == "pos_emb";
+    if (is_weight || is_embedding) quantize(p->value);
+  }
+}
+
+}  // namespace nvcim::llm

@@ -1,0 +1,52 @@
+#include "nvcim/llm/pretrain.hpp"
+
+namespace nvcim::llm {
+
+float pretrain(TinyLM& model, const std::vector<TrainExample>& corpus,
+               const PretrainConfig& cfg) {
+  NVCIM_CHECK_MSG(!corpus.empty(), "pretraining corpus is empty");
+  Rng rng(cfg.seed);
+  nn::Adam::Config acfg;
+  acfg.clip_norm = cfg.clip_norm;
+  acfg.schedule.kind = nn::LrSchedule::Kind::Cosine;
+  acfg.schedule.base_lr = cfg.lr;
+  acfg.schedule.total_steps = cfg.steps;
+  acfg.schedule.warmup_steps = cfg.steps / 20;
+  nn::Adam adam(acfg);
+
+  double tail_loss = 0.0;
+  std::size_t tail_count = 0;
+  const std::size_t tail_begin = cfg.steps - cfg.steps / 10 - 1;
+
+  for (std::size_t step = 0; step < cfg.steps; ++step) {
+    autograd::Tape tape;
+    nn::Binder bind(tape, /*frozen=*/false);
+    autograd::Var total = tape.leaf(Matrix(1, 1, 0.0f), false);
+    const std::size_t bs = std::min(cfg.batch_size, corpus.size());
+    for (std::size_t b = 0; b < bs; ++b) {
+      const TrainExample& ex = corpus[rng.uniform_index(corpus.size())];
+      total = tape.add(total, model.loss(bind, ex));
+    }
+    autograd::Var mean_loss = tape.scale(total, 1.0f / static_cast<float>(bs));
+    tape.backward(mean_loss);
+    adam.step(bind.bound());
+    if (step >= tail_begin) {
+      tail_loss += mean_loss.value()(0, 0);
+      ++tail_count;
+    }
+  }
+  return tail_count == 0 ? 0.0f : static_cast<float>(tail_loss / static_cast<double>(tail_count));
+}
+
+float evaluate_loss(TinyLM& model, const std::vector<TrainExample>& examples) {
+  NVCIM_CHECK(!examples.empty());
+  double sum = 0.0;
+  for (const TrainExample& ex : examples) {
+    autograd::Tape tape;
+    nn::Binder bind(tape, /*frozen=*/true);
+    sum += model.loss(bind, ex).value()(0, 0);
+  }
+  return static_cast<float>(sum / static_cast<double>(examples.size()));
+}
+
+}  // namespace nvcim::llm

@@ -1,0 +1,58 @@
+#include "nvcim/llm/profiles.hpp"
+
+namespace nvcim::llm {
+
+LlmProfile gemma2b_sim() {
+  LlmProfile p;
+  p.name = "Gemma-2B(sim)";
+  p.d_model = 32;
+  p.n_layers = 2;
+  p.n_heads = 4;
+  p.ffn_mult = 2;
+  p.quant_bits = 0;
+  p.pretrain.steps = 900;
+  p.pretrain.lr = 3e-3f;
+  return p;
+}
+
+LlmProfile mistral7b_gptq_sim() {
+  LlmProfile p;
+  p.name = "Mistral-7B-GPTQ(sim)";
+  p.d_model = 48;
+  p.n_layers = 3;
+  p.n_heads = 4;
+  p.ffn_mult = 2;
+  p.quant_bits = 4;  // GPTQ-style 4-bit weights
+  p.pretrain.steps = 900;
+  p.pretrain.lr = 3e-3f;
+  return p;
+}
+
+LlmProfile phi2_sim() {
+  LlmProfile p;
+  p.name = "Phi-2(sim)";
+  p.d_model = 40;
+  p.n_layers = 2;
+  p.n_heads = 4;
+  p.ffn_mult = 3;
+  p.quant_bits = 0;
+  p.pretrain.steps = 900;
+  p.pretrain.lr = 3e-3f;
+  return p;
+}
+
+std::vector<LlmProfile> edge_llm_profiles() {
+  return {gemma2b_sim(), mistral7b_gptq_sim(), phi2_sim()};
+}
+
+TinyLM build_pretrained(const LlmProfile& profile, std::size_t vocab, std::size_t max_seq,
+                        const std::vector<TrainExample>& corpus, std::uint64_t seed) {
+  TinyLM model(profile.make_config(vocab, max_seq), seed);
+  PretrainConfig cfg = profile.pretrain;
+  cfg.seed = seed ^ 0xA5A5A5A5ull;
+  pretrain(model, corpus, cfg);
+  if (profile.quant_bits > 0) quantize_weights(model, profile.quant_bits);
+  return model;
+}
+
+}  // namespace nvcim::llm

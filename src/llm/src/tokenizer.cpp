@@ -1,0 +1,54 @@
+#include "nvcim/llm/tokenizer.hpp"
+
+#include <sstream>
+
+#include "nvcim/common/check.hpp"
+
+namespace nvcim::llm {
+
+Tokenizer::Tokenizer() {
+  for (const char* w : {"<pad>", "<unk>", "<bos>", "<eos>", "<sep>"}) {
+    index_.emplace(w, static_cast<int>(words_.size()));
+    words_.emplace_back(w);
+  }
+}
+
+int Tokenizer::id_of(const std::string& word, bool grow) {
+  auto it = index_.find(word);
+  if (it != index_.end()) return it->second;
+  if (!grow || frozen_) return unk_id();
+  const int id = static_cast<int>(words_.size());
+  index_.emplace(word, id);
+  words_.push_back(word);
+  return id;
+}
+
+int Tokenizer::lookup(const std::string& word) const {
+  auto it = index_.find(word);
+  return it == index_.end() ? unk_id() : it->second;
+}
+
+const std::string& Tokenizer::word_of(int id) const {
+  NVCIM_CHECK_MSG(id >= 0 && static_cast<std::size_t>(id) < words_.size(),
+                  "token id " << id << " out of vocab");
+  return words_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> Tokenizer::encode(const std::string& text, bool grow) {
+  std::vector<int> out;
+  std::istringstream is(text);
+  std::string w;
+  while (is >> w) out.push_back(id_of(w, grow));
+  return out;
+}
+
+std::string Tokenizer::decode(const std::vector<int>& ids) const {
+  std::string out;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i) out += ' ';
+    out += word_of(ids[i]);
+  }
+  return out;
+}
+
+}  // namespace nvcim::llm

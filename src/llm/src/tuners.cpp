@@ -1,0 +1,166 @@
+#include "nvcim/llm/tuners.hpp"
+
+namespace nvcim::llm {
+namespace {
+
+nn::Adam make_adam(const TunerConfig& cfg) {
+  nn::Adam::Config acfg;
+  acfg.clip_norm = cfg.clip_norm;
+  acfg.schedule.kind = nn::LrSchedule::Kind::Cosine;
+  acfg.schedule.base_lr = cfg.lr;
+  acfg.schedule.total_steps = cfg.steps;
+  return nn::Adam(acfg);
+}
+
+/// Bind a locally owned Param as a trainable leaf and, when a perturbation
+/// hook is present, route the forward pass through the perturbed value while
+/// keeping the gradient path attached to the clean parameter.
+autograd::Var bind_with_noise(autograd::Tape& tape, nn::Param& p, const PerturbFn& perturb,
+                              Rng& rng,
+                              std::vector<std::pair<nn::Param*, autograd::Var>>& bindings) {
+  autograd::Var v = tape.leaf(p.value, true);
+  bindings.emplace_back(&p, v);
+  if (!perturb) return v;
+  Matrix delta = perturb(p.value, rng);
+  delta -= p.value;
+  return tape.add_const(v, std::move(delta));
+}
+
+std::vector<const TrainExample*> pick_batch(const std::vector<TrainExample>& examples,
+                                            std::size_t batch_size, Rng& rng) {
+  std::vector<const TrainExample*> batch;
+  if (examples.size() <= batch_size) {
+    for (const auto& e : examples) batch.push_back(&e);
+  } else {
+    for (std::size_t b = 0; b < batch_size; ++b)
+      batch.push_back(&examples[rng.uniform_index(examples.size())]);
+  }
+  return batch;
+}
+
+}  // namespace
+
+Matrix SoftPromptTuner::train(TinyLM& model, const std::vector<TrainExample>& examples) const {
+  NVCIM_CHECK_MSG(!examples.empty(), "no examples for prompt tuning");
+  Rng rng(cfg_.seed);
+  const std::size_t d = model.config().d_model;
+  const bool anchored = !cfg_.init.empty();
+  Matrix init = cfg_.init;
+  if (!anchored) {
+    init = Matrix::randn(cfg_.n_virtual_tokens, d, rng, cfg_.init_std);
+  } else {
+    NVCIM_CHECK_MSG(init.rows() == cfg_.n_virtual_tokens && init.cols() == d,
+                    "prompt init must be n_virtual_tokens x d_model");
+  }
+  const Matrix anchor = init;
+  nn::Param prompt(std::move(init), "soft_prompt");
+  nn::Adam adam = make_adam(cfg_);
+
+  for (std::size_t step = 0; step < cfg_.steps; ++step) {
+    autograd::Tape tape;
+    nn::Binder bind(tape, /*frozen=*/true);
+    std::vector<std::pair<nn::Param*, autograd::Var>> bindings;
+    autograd::Var p_leaf = tape.leaf(prompt.value, true);
+    bindings.emplace_back(&prompt, p_leaf);
+    autograd::Var p_used = p_leaf;
+    if (cfg_.perturb) {
+      Matrix delta = cfg_.perturb(prompt.value, rng);
+      delta -= prompt.value;
+      p_used = tape.add_const(p_leaf, std::move(delta));
+    }
+
+    const auto batch = pick_batch(examples, cfg_.batch_size, rng);
+    autograd::Var total = tape.leaf(Matrix(1, 1, 0.0f), false);
+    for (const TrainExample* ex : batch)
+      total = tape.add(total, model.loss(bind, *ex, p_used));
+    autograd::Var loss = tape.scale(total, 1.0f / static_cast<float>(batch.size()));
+    if (anchored && cfg_.anchor_weight > 0.0f)
+      loss = tape.add(loss, tape.scale(tape.mse(p_leaf, anchor), cfg_.anchor_weight));
+    tape.backward(loss);
+    adam.step(bindings);
+  }
+  return prompt.value;
+}
+
+KvPrefixValues PrefixKvTuner::train(TinyLM& model,
+                                    const std::vector<TrainExample>& examples) const {
+  NVCIM_CHECK_MSG(!examples.empty(), "no examples for prefix tuning");
+  Rng rng(cfg_.seed);
+  const std::size_t d = model.config().d_model;
+  const std::size_t L = model.config().n_layers;
+
+  std::vector<nn::Param> keys, values;
+  keys.reserve(L);
+  values.reserve(L);
+  for (std::size_t l = 0; l < L; ++l) {
+    keys.emplace_back(Matrix::randn(cfg_.n_virtual_tokens, d, rng, cfg_.init_std),
+                      "prefix_k" + std::to_string(l));
+    values.emplace_back(Matrix::randn(cfg_.n_virtual_tokens, d, rng, cfg_.init_std),
+                        "prefix_v" + std::to_string(l));
+  }
+  nn::Adam adam = make_adam(cfg_);
+
+  for (std::size_t step = 0; step < cfg_.steps; ++step) {
+    autograd::Tape tape;
+    nn::Binder bind(tape, /*frozen=*/true);
+    std::vector<std::pair<nn::Param*, autograd::Var>> bindings;
+    KvPrefixVars kv;
+    for (std::size_t l = 0; l < L; ++l) {
+      autograd::Var k = bind_with_noise(tape, keys[l], cfg_.perturb, rng, bindings);
+      autograd::Var v = bind_with_noise(tape, values[l], cfg_.perturb, rng, bindings);
+      kv.emplace_back(k, v);
+    }
+
+    const auto batch = pick_batch(examples, cfg_.batch_size, rng);
+    autograd::Var total = tape.leaf(Matrix(1, 1, 0.0f), false);
+    for (const TrainExample* ex : batch)
+      total = tape.add(total, model.loss(bind, *ex, std::nullopt, &kv));
+    autograd::Var loss = tape.scale(total, 1.0f / static_cast<float>(batch.size()));
+    tape.backward(loss);
+    adam.step(bindings);
+  }
+
+  KvPrefixValues out(L);
+  for (std::size_t l = 0; l < L; ++l) {
+    out[l].key = keys[l].value;
+    out[l].value = values[l].value;
+  }
+  return out;
+}
+
+DeptAdapters DeptTuner::train(TinyLM& model, const std::vector<TrainExample>& examples) const {
+  NVCIM_CHECK_MSG(!examples.empty(), "no examples for DEPT tuning");
+  const TunerConfig& base = cfg_.base;
+  Rng rng(base.seed);
+  const std::size_t d = model.config().d_model;
+  const std::size_t V = model.config().vocab;
+
+  nn::Param prompt(Matrix::randn(base.n_virtual_tokens, d, rng, base.init_std), "dept_prompt");
+  nn::Param lora_a(Matrix::randn(V, cfg_.rank, rng, 0.05f), "dept_lora_a");
+  nn::Param lora_b(Matrix(cfg_.rank, d, 0.0f), "dept_lora_b");  // zero init: delta starts at 0
+  nn::Adam adam = make_adam(base);
+
+  for (std::size_t step = 0; step < base.steps; ++step) {
+    autograd::Tape tape;
+    nn::Binder bind(tape, /*frozen=*/true);
+    std::vector<std::pair<nn::Param*, autograd::Var>> bindings;
+    autograd::Var p_used = bind_with_noise(tape, prompt, base.perturb, rng, bindings);
+    autograd::Var a = tape.leaf(lora_a.value, true);
+    autograd::Var b = tape.leaf(lora_b.value, true);
+    bindings.emplace_back(&lora_a, a);
+    bindings.emplace_back(&lora_b, b);
+    autograd::Var delta = tape.matmul(a, b);
+
+    const auto batch = pick_batch(examples, base.batch_size, rng);
+    autograd::Var total = tape.leaf(Matrix(1, 1, 0.0f), false);
+    for (const TrainExample* ex : batch)
+      total = tape.add(total, model.loss(bind, *ex, p_used, nullptr, delta));
+    autograd::Var loss = tape.scale(total, 1.0f / static_cast<float>(batch.size()));
+    tape.backward(loss);
+    adam.step(bindings);
+  }
+
+  return DeptAdapters{prompt.value, lora_a.value, lora_b.value};
+}
+
+}  // namespace nvcim::llm

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "nvcim/nn/param.hpp"
+
+namespace nvcim::nn {
+
+/// Learning-rate schedule evaluated per optimizer step.
+struct LrSchedule {
+  enum class Kind { Constant, Cosine, StepDecay };
+  Kind kind = Kind::Constant;
+  float base_lr = 1e-4f;   ///< paper's default PT learning rate
+  std::size_t total_steps = 1;
+  std::size_t warmup_steps = 0;
+  float step_decay_factor = 0.5f;
+  std::size_t step_decay_every = 100;
+
+  float lr_at(std::size_t step) const;
+};
+
+/// Adam with decoupled global-norm gradient clipping. State lives inside each
+/// Param so the same optimizer object can be reused across models.
+class Adam {
+ public:
+  struct Config {
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;
+    float clip_norm = 1.0f;  ///< 0 disables clipping
+    LrSchedule schedule;
+  };
+
+  Adam() : Adam(Config{}) {}
+  explicit Adam(Config cfg) : cfg_(cfg) {}
+
+  /// Apply one update using the gradients recorded on the tape for the given
+  /// bindings. Parameters whose gradient never materialized are skipped.
+  void step(const std::vector<std::pair<Param*, autograd::Var>>& bindings);
+
+  void reset() { t_ = 0; }
+  std::size_t step_count() const { return t_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace nvcim::nn

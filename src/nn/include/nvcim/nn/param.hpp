@@ -1,0 +1,87 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "nvcim/autograd/tape.hpp"
+#include "nvcim/tensor/matrix.hpp"
+
+namespace nvcim::nn {
+
+/// A trainable tensor plus its Adam moment state. Modules own their Params by
+/// value; the optimizer updates them through pointers collected by a Binder
+/// during the forward pass.
+struct Param {
+  Matrix value;
+  Matrix m;  ///< Adam first moment (lazily sized)
+  Matrix v;  ///< Adam second moment (lazily sized)
+  bool trainable = true;
+  std::string name;
+
+  Param() = default;
+  Param(Matrix init, std::string param_name)
+      : value(std::move(init)), name(std::move(param_name)) {}
+
+  std::size_t size() const { return value.size(); }
+};
+
+/// Binds Params to tape leaves for one forward/backward pass and remembers
+/// the (Param, Var) association so the optimizer can read gradients.
+///
+/// `frozen` mode binds every parameter as a constant — used at inference and
+/// for prompt tuning, where the backbone is frozen and only externally
+/// supplied leaves (the virtual tokens) are trainable.
+class Binder {
+ public:
+  Binder(autograd::Tape& tape, bool frozen = false) : tape_(&tape), frozen_(frozen) {}
+
+  /// Bind a Param to a tape leaf. Repeated binds of the same Param on the
+  /// same Binder return the same Var, so multi-example forward passes share
+  /// one leaf per parameter and gradients accumulate correctly.
+  autograd::Var operator()(Param& p) {
+    if (auto it = cache_.find(&p); it != cache_.end()) return it->second;
+    const bool rg = p.trainable && !frozen_;
+    autograd::Var var = tape_->leaf(p.value, rg);
+    if (rg) bound_.emplace_back(&p, var);
+    cache_.emplace(&p, var);
+    return var;
+  }
+
+  autograd::Tape& tape() { return *tape_; }
+  bool frozen() const { return frozen_; }
+  const std::vector<std::pair<Param*, autograd::Var>>& bound() const { return bound_; }
+
+ private:
+  autograd::Tape* tape_;
+  bool frozen_;
+  std::vector<std::pair<Param*, autograd::Var>> bound_;
+  std::unordered_map<Param*, autograd::Var> cache_;
+};
+
+/// Collects non-owning pointers to every Param of a model, for optimizers,
+/// parameter counting and (de)serialization.
+class ParamSet {
+ public:
+  void add(Param& p) { params_.push_back(&p); }
+  const std::vector<Param*>& all() const { return params_; }
+  std::size_t parameter_count() const {
+    std::size_t n = 0;
+    for (const Param* p : params_) n += p->size();
+    return n;
+  }
+
+ private:
+  std::vector<Param*> params_;
+};
+
+// ---- Initializers ----
+
+/// Xavier/Glorot normal for a fan_in×fan_out weight.
+Matrix xavier_init(std::size_t fan_in, std::size_t fan_out, Rng& rng);
+/// Scaled normal init (stddev = scale / sqrt(fan_in)).
+Matrix scaled_normal_init(std::size_t rows, std::size_t cols, std::size_t fan_in, Rng& rng,
+                          float scale = 1.0f);
+
+}  // namespace nvcim::nn

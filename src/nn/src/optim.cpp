@@ -1,0 +1,72 @@
+#include "nvcim/nn/optim.hpp"
+
+#include <cmath>
+
+namespace nvcim::nn {
+
+float LrSchedule::lr_at(std::size_t step) const {
+  if (warmup_steps > 0 && step < warmup_steps)
+    return base_lr * static_cast<float>(step + 1) / static_cast<float>(warmup_steps);
+  switch (kind) {
+    case Kind::Constant:
+      return base_lr;
+    case Kind::Cosine: {
+      const std::size_t total = total_steps > warmup_steps ? total_steps : warmup_steps + 1;
+      const float progress = static_cast<float>(step - warmup_steps) /
+                             static_cast<float>(total - warmup_steps);
+      const float clamped = progress > 1.0f ? 1.0f : progress;
+      constexpr float pi = 3.14159265358979323846f;
+      return base_lr * 0.5f * (1.0f + std::cos(pi * clamped));
+    }
+    case Kind::StepDecay: {
+      const std::size_t k = step_decay_every == 0 ? 0 : step / step_decay_every;
+      float lr = base_lr;
+      for (std::size_t i = 0; i < k; ++i) lr *= step_decay_factor;
+      return lr;
+    }
+  }
+  return base_lr;
+}
+
+void Adam::step(const std::vector<std::pair<Param*, autograd::Var>>& bindings) {
+  const float lr = cfg_.schedule.lr_at(t_);
+  ++t_;
+
+  // Global-norm clipping over every parameter that received a gradient.
+  float clip_scale = 1.0f;
+  if (cfg_.clip_norm > 0.0f) {
+    double sq = 0.0;
+    for (const auto& [param, var] : bindings) {
+      if (!var.tape()->has_grad(var)) continue;
+      const float n = var.grad().frobenius_norm();
+      sq += static_cast<double>(n) * n;
+    }
+    const float norm = static_cast<float>(std::sqrt(sq));
+    if (norm > cfg_.clip_norm) clip_scale = cfg_.clip_norm / norm;
+  }
+
+  const float bc1 = 1.0f - std::pow(cfg_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(cfg_.beta2, static_cast<float>(t_));
+
+  for (const auto& [param, var] : bindings) {
+    if (!var.tape()->has_grad(var)) continue;
+    Param& p = *param;
+    if (p.m.size() != p.value.size()) {
+      p.m = Matrix(p.value.rows(), p.value.cols(), 0.0f);
+      p.v = Matrix(p.value.rows(), p.value.cols(), 0.0f);
+    }
+    const Matrix& g = var.grad();
+    for (std::size_t i = 0; i < p.value.size(); ++i) {
+      const float gi = g.at_flat(i) * clip_scale + cfg_.weight_decay * p.value.at_flat(i);
+      float& m = p.m.at_flat(i);
+      float& v = p.v.at_flat(i);
+      m = cfg_.beta1 * m + (1.0f - cfg_.beta1) * gi;
+      v = cfg_.beta2 * v + (1.0f - cfg_.beta2) * gi * gi;
+      const float mhat = m / bc1;
+      const float vhat = v / bc2;
+      p.value.at_flat(i) -= lr * mhat / (std::sqrt(vhat) + cfg_.eps);
+    }
+  }
+}
+
+}  // namespace nvcim::nn

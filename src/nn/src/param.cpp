@@ -1,0 +1,18 @@
+#include "nvcim/nn/param.hpp"
+
+#include <cmath>
+
+namespace nvcim::nn {
+
+Matrix xavier_init(std::size_t fan_in, std::size_t fan_out, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in + fan_out));
+  return Matrix::randn(fan_in, fan_out, rng, stddev);
+}
+
+Matrix scaled_normal_init(std::size_t rows, std::size_t cols, std::size_t fan_in, Rng& rng,
+                          float scale) {
+  const float stddev = scale / std::sqrt(static_cast<float>(fan_in));
+  return Matrix::randn(rows, cols, rng, stddev);
+}
+
+}  // namespace nvcim::nn

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "nvcim/common/rng.hpp"
+#include "nvcim/common/check.hpp"
+
+namespace nvcim::nvm {
+
+/// Per-device non-ideality model, reproducing the paper's Table II: a cell
+/// programmed to level L holds conductance g = g0 + N(0, σ_L) on the
+/// normalized [0, 1] conductance axis (v = v0 + Δv, Δv ~ N(0, σ_v)).
+struct DeviceModel {
+  std::string name;       ///< e.g. "RRAM1"
+  std::string paper_id;   ///< e.g. "NVM-1"
+  std::size_t n_levels = 4;
+  std::array<double, 4> sigma_per_level{};  ///< σ_v at L0..L3 (Table II)
+
+  double sigma_at(std::size_t level) const {
+    NVCIM_CHECK(level < n_levels && level < sigma_per_level.size());
+    return sigma_per_level[level];
+  }
+  double mean_sigma() const {
+    double s = 0.0;
+    for (std::size_t l = 0; l < n_levels; ++l) s += sigma_per_level[l];
+    return s / static_cast<double>(n_levels);
+  }
+  std::size_t bits_per_cell() const {
+    std::size_t b = 0;
+    while ((1ull << b) < n_levels) ++b;
+    return b;
+  }
+};
+
+// Table II presets (real devices extracted from the literature plus the two
+// extrapolated synthetic FeFETs).
+DeviceModel rram1();   ///< NVM-1
+DeviceModel fefet2();  ///< NVM-2
+DeviceModel fefet3();  ///< NVM-3
+DeviceModel rram4();   ///< NVM-4
+DeviceModel fefet6();  ///< NVM-5
+
+/// All five, in Table I/II row order (NVM-1 .. NVM-5).
+std::vector<DeviceModel> table2_devices();
+
+/// Device model + the experiment-level variation scale. The paper sets "the
+/// standard deviation σ to 0.1" as the experiment knob (swept 0.025–0.150 in
+/// Table IV) while Table II characterizes each device's per-level *shape*.
+/// We therefore compose them as: the per-level σ values are normalized by
+/// the device mean (preserving the level structure) and scaled to the
+/// experiment σ, so every device has mean per-level variation global_sigma
+/// on the normalized conductance axis.
+struct VariationModel {
+  DeviceModel device;
+  double global_sigma = 0.1;
+
+  double effective_sigma(std::size_t level) const {
+    const double mean = device.mean_sigma();
+    if (mean <= 0.0) return global_sigma;
+    return global_sigma * device.sigma_at(level) / mean;
+  }
+};
+
+/// Program one cell: quantize `normalized` (in [0,1]) to the nearest device
+/// level and draw the programmed conductance with that level's variation.
+/// Returns the *analog* stored conductance in [0,1] (may fall outside the
+/// level grid because of noise; clamped to [0,1]).
+double program_cell(double normalized, const VariationModel& var, Rng& rng);
+
+/// Nearest level index for a normalized conductance.
+std::size_t nearest_level(double normalized, std::size_t n_levels);
+
+/// Write-verify primitive: re-program until the deviation from the target
+/// level is within `tolerance` (normalized units) or `max_iterations` is
+/// reached. Returns the number of write pulses used (≥1). This is the
+/// building block of the SWV mitigation baseline.
+struct WriteVerifyResult {
+  double conductance = 0.0;
+  std::size_t pulses = 1;
+};
+WriteVerifyResult write_verify_cell(double normalized, const VariationModel& var, Rng& rng,
+                                    double tolerance, std::size_t max_iterations);
+
+}  // namespace nvcim::nvm

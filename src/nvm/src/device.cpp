@@ -1,0 +1,66 @@
+#include "nvcim/nvm/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nvcim::nvm {
+namespace {
+
+DeviceModel make(const char* name, const char* paper_id, std::size_t levels,
+                 std::array<double, 4> sigmas) {
+  DeviceModel d;
+  d.name = name;
+  d.paper_id = paper_id;
+  d.n_levels = levels;
+  d.sigma_per_level = sigmas;
+  return d;
+}
+
+}  // namespace
+
+// Values copied verbatim from Table II. RRAM1 is listed with a single level
+// entry (uniform σ = 0.01 across the conductance range); we model it as a
+// 4-level cell with uniform per-level variation so every device drives the
+// same 2-bit crossbar layout.
+DeviceModel rram1() { return make("RRAM1", "NVM-1", 4, {0.0100, 0.0100, 0.0100, 0.0100}); }
+DeviceModel fefet2() { return make("FeFET2", "NVM-2", 4, {0.0067, 0.0135, 0.0135, 0.0067}); }
+DeviceModel fefet3() { return make("FeFET3", "NVM-3", 4, {0.0049, 0.0146, 0.0146, 0.0049}); }
+DeviceModel rram4() { return make("RRAM4", "NVM-4", 4, {0.0038, 0.0151, 0.0151, 0.0038}); }
+DeviceModel fefet6() { return make("FeFET6", "NVM-5", 4, {0.0026, 0.0155, 0.0155, 0.0026}); }
+
+std::vector<DeviceModel> table2_devices() {
+  return {rram1(), fefet2(), fefet3(), rram4(), fefet6()};
+}
+
+std::size_t nearest_level(double normalized, std::size_t n_levels) {
+  NVCIM_CHECK(n_levels >= 2);
+  const double clamped = std::clamp(normalized, 0.0, 1.0);
+  const double step = 1.0 / static_cast<double>(n_levels - 1);
+  const auto level = static_cast<std::size_t>(std::llround(clamped / step));
+  return std::min(level, n_levels - 1);
+}
+
+double program_cell(double normalized, const VariationModel& var, Rng& rng) {
+  const std::size_t level = nearest_level(normalized, var.device.n_levels);
+  const double target =
+      static_cast<double>(level) / static_cast<double>(var.device.n_levels - 1);
+  const double sigma = var.effective_sigma(level);
+  return std::clamp(target + rng.normal(0.0, sigma), 0.0, 1.0);
+}
+
+WriteVerifyResult write_verify_cell(double normalized, const VariationModel& var, Rng& rng,
+                                    double tolerance, std::size_t max_iterations) {
+  NVCIM_CHECK(max_iterations >= 1);
+  const std::size_t level = nearest_level(normalized, var.device.n_levels);
+  const double target =
+      static_cast<double>(level) / static_cast<double>(var.device.n_levels - 1);
+  WriteVerifyResult res;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    res.conductance = program_cell(normalized, var, rng);
+    res.pulses = it + 1;
+    if (std::fabs(res.conductance - target) <= tolerance) break;
+  }
+  return res;
+}
+
+}  // namespace nvcim::nvm

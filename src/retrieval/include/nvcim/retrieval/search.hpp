@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nvcim/cim/accelerator.hpp"
+#include "nvcim/tensor/matrix.hpp"
+
+namespace nvcim::retrieval {
+
+enum class Algorithm { MIPS, SSA };
+
+/// Configuration of the paper's Scaled Search Algorithm (Eq. 5): average
+/// pooling at scales {1, 2, 4} with weights {1.0, 0.8, 0.6}.
+struct ScaledSearchConfig {
+  std::vector<std::size_t> scales{1, 2, 4};
+  std::vector<float> weights{1.0f, 0.8f, 0.6f};
+};
+
+/// Exact (CPU, noise-free) Weighted Multi-Scale Dot Product between two
+/// same-size matrices (flattened).
+float wmsdp(const Matrix& e, const Matrix& p, const ScaledSearchConfig& cfg = {});
+
+/// Exact CPU retrieval references (used as ground truth in tests).
+std::size_t mips_retrieve_exact(const Matrix& query, const std::vector<Matrix>& keys);
+std::size_t ssa_retrieve_exact(const Matrix& query, const std::vector<Matrix>& keys,
+                               const ScaledSearchConfig& cfg = {});
+
+/// In-memory retrieval engine: stores the (encoded) OVT keys in NVCiM
+/// crossbars and answers nearest-key queries through noisy crossbar GEMMs.
+/// For SSA, each pooling scale occupies its own accelerator bank holding the
+/// pooled copies of every key (the paper's "Scale & Copy" layout, Fig. 4).
+class CimRetriever {
+ public:
+  struct Config {
+    Algorithm algorithm = Algorithm::SSA;
+    ScaledSearchConfig ssa;
+    cim::CrossbarConfig crossbar;
+    nvm::VariationModel variation;
+    cim::ProgramOptions program;
+  };
+
+  explicit CimRetriever(Config cfg) : cfg_(std::move(cfg)) {}
+
+  /// Store keys (each flattened internally; all must share the shape of the
+  /// first). Reprogramming with a new set replaces the old one.
+  void store(const std::vector<Matrix>& keys, Rng& rng);
+
+  /// Similarity score of the query against every stored key.
+  Matrix scores(const Matrix& query);
+  /// Index of the best-scoring key.
+  std::size_t retrieve(const Matrix& query);
+
+  std::size_t n_keys() const { return n_keys_; }
+  cim::OpCounters counters() const;
+
+ private:
+  Config cfg_;
+  std::size_t n_keys_ = 0;
+  std::size_t key_size_ = 0;
+  // One accelerator per scale (MIPS uses a single scale-1 bank).
+  std::vector<std::unique_ptr<cim::Accelerator>> banks_;
+  std::vector<std::size_t> bank_scales_;
+  std::vector<float> bank_weights_;
+};
+
+}  // namespace nvcim::retrieval

@@ -1,0 +1,110 @@
+#include "nvcim/retrieval/search.hpp"
+
+namespace nvcim::retrieval {
+
+float wmsdp(const Matrix& e, const Matrix& p, const ScaledSearchConfig& cfg) {
+  NVCIM_CHECK_MSG(e.size() == p.size(), "WMSDP operands must have equal size");
+  NVCIM_CHECK_MSG(cfg.scales.size() == cfg.weights.size() && !cfg.scales.empty(),
+                  "scales/weights mismatch");
+  double num = 0.0, denom = 0.0;
+  for (std::size_t i = 0; i < cfg.scales.size(); ++i) {
+    const Matrix pe = average_pool_flat(e, cfg.scales[i]);
+    const Matrix pp = average_pool_flat(p, cfg.scales[i]);
+    num += static_cast<double>(cfg.weights[i]) * dot(pe, pp);
+    denom += cfg.weights[i];
+  }
+  return static_cast<float>(num / denom);
+}
+
+std::size_t mips_retrieve_exact(const Matrix& query, const std::vector<Matrix>& keys) {
+  NVCIM_CHECK(!keys.empty());
+  std::size_t best = 0;
+  float best_score = -1e30f;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const float s = dot(query.flattened(), keys[i].flattened());
+    if (s > best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t ssa_retrieve_exact(const Matrix& query, const std::vector<Matrix>& keys,
+                               const ScaledSearchConfig& cfg) {
+  NVCIM_CHECK(!keys.empty());
+  std::size_t best = 0;
+  float best_score = -1e30f;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const float s = wmsdp(query, keys[i], cfg);
+    if (s > best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void CimRetriever::store(const std::vector<Matrix>& keys, Rng& rng) {
+  NVCIM_CHECK_MSG(!keys.empty(), "no keys to store");
+  n_keys_ = keys.size();
+  key_size_ = keys[0].size();
+  for (const Matrix& k : keys)
+    NVCIM_CHECK_MSG(k.size() == key_size_, "keys must share a common size");
+
+  bank_scales_.clear();
+  bank_weights_.clear();
+  if (cfg_.algorithm == Algorithm::MIPS) {
+    bank_scales_.push_back(1);
+    bank_weights_.push_back(1.0f);
+  } else {
+    NVCIM_CHECK(cfg_.ssa.scales.size() == cfg_.ssa.weights.size() && !cfg_.ssa.scales.empty());
+    bank_scales_ = cfg_.ssa.scales;
+    bank_weights_ = cfg_.ssa.weights;
+  }
+
+  banks_.clear();
+  for (std::size_t b = 0; b < bank_scales_.size(); ++b) {
+    const std::size_t scale = bank_scales_[b];
+    const std::size_t pooled_len = (key_size_ + scale - 1) / scale;
+    Matrix pooled_keys(n_keys_, pooled_len);
+    for (std::size_t i = 0; i < n_keys_; ++i)
+      pooled_keys.set_row(i, average_pool_flat(keys[i], scale));
+    auto acc = std::make_unique<cim::Accelerator>(cfg_.crossbar, cfg_.variation, cfg_.program);
+    Rng bank_rng = rng.split(0xB00Bull + b);
+    acc->store(pooled_keys, bank_rng);
+    banks_.push_back(std::move(acc));
+  }
+}
+
+Matrix CimRetriever::scores(const Matrix& query) {
+  NVCIM_CHECK_MSG(!banks_.empty(), "no keys stored");
+  NVCIM_CHECK_MSG(query.size() == key_size_, "query size " << query.size()
+                                                           << " != key size " << key_size_);
+  Matrix total(1, n_keys_, 0.0f);
+  float weight_sum = 0.0f;
+  for (std::size_t b = 0; b < banks_.size(); ++b) {
+    const Matrix pooled = average_pool_flat(query, bank_scales_[b]);
+    const Matrix s = banks_[b]->query(pooled);
+    total.add_scaled(s, bank_weights_[b]);
+    weight_sum += bank_weights_[b];
+  }
+  total *= 1.0f / weight_sum;
+  return total;
+}
+
+std::size_t CimRetriever::retrieve(const Matrix& query) {
+  const Matrix s = scores(query);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < s.cols(); ++i)
+    if (s(0, i) > s(0, best)) best = i;
+  return best;
+}
+
+cim::OpCounters CimRetriever::counters() const {
+  cim::OpCounters c;
+  for (const auto& b : banks_) c += b->counters();
+  return c;
+}
+
+}  // namespace nvcim::retrieval

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "nvcim/cluster/kmeans.hpp"
+
+namespace nvcim::cluster {
+namespace {
+
+/// Three well-separated blobs in 2D.
+std::vector<Matrix> blobs(std::size_t per_blob, Rng& rng) {
+  std::vector<Matrix> pts;
+  const float centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int b = 0; b < 3; ++b)
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      Matrix p(1, 2);
+      p(0, 0) = centers[b][0] + static_cast<float>(rng.normal(0.0, 0.3));
+      p(0, 1) = centers[b][1] + static_cast<float>(rng.normal(0.0, 0.3));
+      pts.push_back(p);
+    }
+  return pts;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  Rng rng(1);
+  const auto pts = blobs(10, rng);
+  const KMeansResult res = kmeans(pts, 3);
+  EXPECT_EQ(res.k, 3u);
+  // All members of a blob share an assignment.
+  for (int b = 0; b < 3; ++b)
+    for (int i = 1; i < 10; ++i)
+      EXPECT_EQ(res.assignment[b * 10 + i], res.assignment[b * 10]);
+  // Distinct blobs get distinct clusters.
+  EXPECT_NE(res.assignment[0], res.assignment[10]);
+  EXPECT_NE(res.assignment[10], res.assignment[20]);
+  EXPECT_LT(res.inertia, 30.0);
+}
+
+TEST(KMeans, KClampedToPointCount) {
+  Rng rng(2);
+  std::vector<Matrix> pts{Matrix{{1, 1}}, Matrix{{2, 2}}};
+  const KMeansResult res = kmeans(pts, 5);
+  EXPECT_EQ(res.k, 2u);
+}
+
+TEST(KMeans, SingleClusterCentroidIsMean) {
+  std::vector<Matrix> pts{Matrix{{0, 0}}, Matrix{{2, 0}}, Matrix{{1, 3}}};
+  const KMeansResult res = kmeans(pts, 1);
+  EXPECT_NEAR(res.centroids[0](0, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(res.centroids[0](0, 1), 1.0f, 1e-5f);
+}
+
+TEST(KMeans, EmptyInputThrows) {
+  std::vector<Matrix> empty;
+  EXPECT_THROW(kmeans(empty, 2), Error);
+}
+
+TEST(KMeans, MismatchedDimsThrow) {
+  std::vector<Matrix> pts{Matrix(1, 2), Matrix(1, 3)};
+  EXPECT_THROW(kmeans(pts, 1), Error);
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  Rng rng(3);
+  const auto pts = blobs(8, rng);
+  KMeansConfig cfg;
+  cfg.seed = 42;
+  const auto a = kmeans(pts, 3, cfg);
+  const auto b = kmeans(pts, 3, cfg);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, DuplicatePointsHandled) {
+  std::vector<Matrix> pts(6, Matrix{{1.0f, 2.0f}});
+  const KMeansResult res = kmeans(pts, 3);
+  EXPECT_LE(res.inertia, 1e-9);
+}
+
+TEST(SelectK, PaperEquation2Behaviour) {
+  // Defaults: n_min=2, n_max=8, b0=5, s=1.5.
+  KSelectionConfig cfg;
+  // Small buffers floor at n_min.
+  EXPECT_EQ(select_k(1, cfg), 2u);
+  EXPECT_EQ(select_k(5, cfg), 2u);
+  // Growth is logarithmic in bs/b0.
+  const std::size_t k10 = select_k(10, cfg);
+  const std::size_t k25 = select_k(25, cfg);
+  const std::size_t k60 = select_k(60, cfg);
+  EXPECT_GE(k25, k10);
+  EXPECT_GE(k60, k25);
+  // Large buffers cap at n_max.
+  EXPECT_EQ(select_k(100000, cfg), 8u);
+}
+
+TEST(SelectK, MonotoneInBufferSize) {
+  KSelectionConfig cfg;
+  std::size_t prev = 0;
+  for (std::size_t bs = 1; bs <= 200; ++bs) {
+    const std::size_t k = select_k(bs, cfg);
+    EXPECT_GE(k, prev);
+    EXPECT_GE(k, cfg.n_min);
+    EXPECT_LE(k, cfg.n_max);
+    prev = k;
+  }
+}
+
+TEST(Representatives, PicksClosestToCentroid) {
+  Rng rng(4);
+  const auto pts = blobs(10, rng);
+  const KMeansResult res = kmeans(pts, 3);
+  const auto reps = representatives(pts, res);
+  ASSERT_EQ(reps.size(), 3u);
+  // Each representative belongs to its cluster and has maximal cosine
+  // similarity to the centroid within the cluster.
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(res.assignment[reps[c]], c);
+    const float rep_cs = cosine_similarity(pts[reps[c]], res.centroids[c]);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (res.assignment[i] != c) continue;
+      EXPECT_LE(cosine_similarity(pts[i], res.centroids[c]), rep_cs + 1e-6f);
+    }
+  }
+}
+
+TEST(Representatives, PaperArgminRuleIsOpposite) {
+  Rng rng(5);
+  const auto pts = blobs(10, rng);
+  const KMeansResult res = kmeans(pts, 3);
+  const auto max_reps = representatives(pts, res, RepresentativeRule::ClosestToCentroid);
+  const auto min_reps = representatives(pts, res, RepresentativeRule::PaperArgmin);
+  ASSERT_EQ(min_reps.size(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const float cs_max = cosine_similarity(pts[max_reps[c]], res.centroids[c]);
+    const float cs_min = cosine_similarity(pts[min_reps[c]], res.centroids[c]);
+    EXPECT_LE(cs_min, cs_max + 1e-6f);
+  }
+}
+
+class SelectKSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SelectKSweep, AlwaysWithinBounds) {
+  KSelectionConfig cfg;
+  const std::size_t k = select_k(GetParam(), cfg);
+  EXPECT_GE(k, cfg.n_min);
+  EXPECT_LE(k, cfg.n_max);
+}
+
+INSTANTIATE_TEST_SUITE_P(BufferSizes, SelectKSweep,
+                         ::testing::Values(1, 2, 5, 10, 20, 25, 30, 40, 50, 60, 100, 1000));
+
+}  // namespace
+}  // namespace nvcim::cluster

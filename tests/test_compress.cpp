@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "nvcim/compress/autoencoder.hpp"
+
+namespace nvcim::compress {
+namespace {
+
+AutoencoderConfig quick_config() {
+  AutoencoderConfig cfg;
+  cfg.input_dim = 12;
+  cfg.code_dim = 16;
+  cfg.hidden_dim = 32;
+  cfg.steps = 400;
+  return cfg;
+}
+
+std::vector<Matrix> training_rows(std::size_t n, Rng& rng) {
+  std::vector<Matrix> rows;
+  for (std::size_t i = 0; i < n; ++i) rows.push_back(Matrix::randn(4, 12, rng, 0.8f));
+  return rows;
+}
+
+TEST(Autoencoder, EncodeDecodeShapes) {
+  Autoencoder ae(quick_config());
+  Rng rng(1);
+  const Matrix x = Matrix::randn(5, 12, rng);
+  const Matrix code = ae.encode(x);
+  EXPECT_EQ(code.rows(), 5u);
+  EXPECT_EQ(code.cols(), 16u);
+  const Matrix rec = ae.decode(code);
+  EXPECT_EQ(rec.rows(), 5u);
+  EXPECT_EQ(rec.cols(), 12u);
+}
+
+TEST(Autoencoder, CodeIsBoundedForInt16Storage) {
+  Autoencoder ae(quick_config());
+  Rng rng(2);
+  // Even extreme inputs produce codes in [-1, 1] (tanh): NVM-compatible.
+  const Matrix x = Matrix::randn(3, 12, rng, 50.0f);
+  const Matrix code = ae.encode(x);
+  EXPECT_LE(code.max_abs(), 1.0f);
+}
+
+TEST(Autoencoder, TrainingReducesReconstructionError) {
+  Rng rng(3);
+  const auto rows = training_rows(16, rng);
+  AutoencoderConfig cfg = quick_config();
+  Autoencoder untrained(cfg);
+  Autoencoder trained(cfg);
+  trained.train(rows);
+  const Matrix probe = rows[0];
+  EXPECT_LT(trained.reconstruction_error(probe), untrained.reconstruction_error(probe));
+}
+
+TEST(Autoencoder, GeneralizesNearManifoldWithAugmentation) {
+  Rng rng(4);
+  const auto rows = training_rows(16, rng);
+  Autoencoder ae(quick_config());
+  ae.train(rows);
+  // Probe: perturbed mixture of two training rows (off-manifold direction).
+  Matrix probe = rows[0].row(0);
+  probe.add_scaled(rows[1].row(2), 0.7f);
+  for (std::size_t i = 0; i < probe.size(); ++i)
+    probe.at_flat(i) += static_cast<float>(rng.normal(0.0, 0.1));
+  const float err = ae.reconstruction_error(probe);
+  const float scale = probe.frobenius_norm() * probe.frobenius_norm() /
+                      static_cast<float>(probe.size());
+  EXPECT_LT(err, 0.3f * scale);
+}
+
+TEST(Autoencoder, UpdateImprovesOnNewData) {
+  Rng rng(5);
+  const auto rows = training_rows(16, rng);
+  Autoencoder ae(quick_config());
+  ae.train(rows);
+  // A new cluster far from the training data.
+  Matrix shifted = Matrix::randn(6, 12, rng, 0.5f);
+  shifted += Matrix(6, 12, 3.0f);
+  const float before = ae.reconstruction_error(shifted);
+  ae.update({shifted}, 300);
+  const float after = ae.reconstruction_error(shifted);
+  EXPECT_LT(after, before);
+}
+
+TEST(Autoencoder, DimensionMismatchThrows) {
+  Autoencoder ae(quick_config());
+  EXPECT_THROW(ae.train({Matrix(2, 5, 1.0f)}), Error);
+}
+
+TEST(Autoencoder, EmptyTrainingThrows) {
+  Autoencoder ae(quick_config());
+  EXPECT_THROW(ae.train({}), Error);
+}
+
+TEST(Autoencoder, DeterministicForSeed) {
+  Rng rng(6);
+  const auto rows = training_rows(8, rng);
+  AutoencoderConfig cfg = quick_config();
+  cfg.steps = 50;
+  Autoencoder a(cfg), b(cfg);
+  a.train(rows);
+  b.train(rows);
+  const Matrix probe = rows[0];
+  EXPECT_TRUE(allclose(a.encode(probe), b.encode(probe)));
+}
+
+TEST(Autoencoder, CopyIsIndependent) {
+  Rng rng(7);
+  const auto rows = training_rows(8, rng);
+  AutoencoderConfig cfg = quick_config();
+  cfg.steps = 50;
+  Autoencoder a(cfg);
+  a.train(rows);
+  Autoencoder b = a;  // value copy
+  b.update(rows, 50);
+  // a unchanged by b's update — encodes identically to a fresh copy of a.
+  const Matrix probe = rows[0];
+  const Matrix ca = a.encode(probe);
+  Autoencoder c = a;
+  EXPECT_TRUE(allclose(ca, c.encode(probe)));
+}
+
+}  // namespace
+}  // namespace nvcim::compress

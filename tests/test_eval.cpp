@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "nvcim/eval/metrics.hpp"
+
+namespace nvcim::eval {
+namespace {
+
+TEST(Rouge1, PerfectMatch) {
+  const Rouge1 r = rouge1({1, 2, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+}
+
+TEST(Rouge1, OrderIndependent) {
+  const Rouge1 r = rouge1({3, 1, 2}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+}
+
+TEST(Rouge1, NoOverlap) {
+  const Rouge1 r = rouge1({4, 5}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(r.precision, 0.0);
+  EXPECT_DOUBLE_EQ(r.recall, 0.0);
+  EXPECT_DOUBLE_EQ(r.f1, 0.0);
+}
+
+TEST(Rouge1, PartialOverlap) {
+  // hyp {1,2,4}, ref {1,2,3}: overlap 2 -> P=2/3, R=2/3, F1=2/3.
+  const Rouge1 r = rouge1({1, 2, 4}, {1, 2, 3});
+  EXPECT_NEAR(r.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Rouge1, ClippedCounts) {
+  // Repeating a reference word in the hypothesis must not inflate overlap
+  // beyond the reference count (Lin 2004 clipping).
+  const Rouge1 r = rouge1({1, 1, 1}, {1, 2});
+  EXPECT_NEAR(r.precision, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.recall, 1.0 / 2.0, 1e-12);
+}
+
+TEST(Rouge1, AsymmetricLengths) {
+  const Rouge1 r = rouge1({1}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 0.25);
+  EXPECT_NEAR(r.f1, 2.0 * 1.0 * 0.25 / 1.25, 1e-12);
+}
+
+TEST(Rouge1, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(rouge1({}, {1}).f1, 0.0);
+  EXPECT_DOUBLE_EQ(rouge1({1}, {}).f1, 0.0);
+  EXPECT_DOUBLE_EQ(rouge1({}, {}).f1, 0.0);
+}
+
+
+TEST(RougeL, PerfectAndReversed) {
+  EXPECT_DOUBLE_EQ(rouge_l({1, 2, 3}, {1, 2, 3}).f1, 1.0);
+  // Reversed order: LCS = 1 -> P=R=1/3.
+  const RougeL r = rouge_l({3, 2, 1}, {1, 2, 3});
+  EXPECT_NEAR(r.f1, 1.0 / 3.0, 1e-12);
+}
+
+TEST(RougeL, SubsequenceNotSubstring) {
+  // LCS of {1,9,2,9,3} vs {1,2,3} is {1,2,3}.
+  const RougeL r = rouge_l({1, 9, 2, 9, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_NEAR(r.precision, 3.0 / 5.0, 1e-12);
+}
+
+TEST(RougeL, OrderSensitiveUnlikeRouge1) {
+  const std::vector<int> hyp{3, 1, 2}, ref{1, 2, 3};
+  EXPECT_DOUBLE_EQ(rouge1(hyp, ref).f1, 1.0);
+  EXPECT_LT(rouge_l(hyp, ref).f1, 1.0);
+}
+
+TEST(RougeL, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(rouge_l({}, {1}).f1, 0.0);
+  EXPECT_DOUBLE_EQ(rouge_l({1}, {}).f1, 0.0);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  const Interval iv = wilson_interval(30, 60);
+  EXPECT_LT(iv.lo, 0.5);
+  EXPECT_GT(iv.hi, 0.5);
+  EXPECT_GT(iv.lo, 0.3);
+  EXPECT_LT(iv.hi, 0.7);
+}
+
+TEST(WilsonInterval, ShrinksWithTrials) {
+  const Interval small = wilson_interval(5, 10);
+  const Interval large = wilson_interval(500, 1000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(WilsonInterval, EdgeCases) {
+  const Interval zero = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_DOUBLE_EQ(zero.hi, 1.0);
+  const Interval all = wilson_interval(10, 10);
+  EXPECT_GT(all.lo, 0.6);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  const Interval none = wilson_interval(0, 10);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+  EXPECT_LT(none.hi, 0.4);
+}
+
+TEST(MeanAccumulator, Basics) {
+  MeanAccumulator m;
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_EQ(m.count(), 0u);
+  m.add(1.0);
+  m.add(3.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+  EXPECT_EQ(m.count(), 2u);
+}
+
+TEST(MeanAccumulator, NegativeValues) {
+  MeanAccumulator m;
+  m.add(-2.0);
+  m.add(2.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace nvcim::eval

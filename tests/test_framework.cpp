@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "nvcim/core/framework.hpp"
+#include "nvcim/llm/pretrain.hpp"
+
+namespace nvcim::core {
+namespace {
+
+/// Small but real setup: tiny backbone, briefly pretrained so embeddings are
+/// meaningful; framework invariants are checked, not benchmark accuracy.
+struct Fixture {
+  data::LampTask task{data::lamp1_config()};
+  llm::TinyLM model;
+
+  Fixture() : model(make_model()) {}
+
+  llm::TinyLM make_model() {
+    llm::TinyLmConfig cfg;
+    cfg.vocab = task.vocab_size();
+    cfg.d_model = 16;
+    cfg.n_layers = 1;
+    cfg.n_heads = 2;
+    cfg.ffn_hidden = 32;
+    cfg.max_seq = 40;
+    cfg.prompt_slots = 8;
+    llm::TinyLM m(cfg, 5);
+    llm::PretrainConfig pt;
+    pt.steps = 60;
+    pt.batch_size = 8;
+    llm::pretrain(m, task.pretraining_corpus(120, 3), pt);
+    return m;
+  }
+
+  FrameworkConfig config() {
+    FrameworkConfig cfg;
+    cfg.tuner.n_virtual_tokens = 4;
+    cfg.tuner.steps = 15;
+    cfg.autoencoder.steps = 60;
+    cfg.autoencoder.code_dim = 24;
+    cfg.variation = {nvm::fefet3(), 0.1};
+    return cfg;
+  }
+
+  std::vector<data::Sample> buffer(std::size_t n, std::uint64_t seed = 9) {
+    const data::UserData u = task.make_user(seed, n, 0);
+    return u.train;
+  }
+};
+
+TEST(Framework, TrainingStoresKPerBuffer) {
+  Fixture f;
+  NvcimPtFramework fw(f.model, f.task, f.config());
+  fw.initialize_autoencoder(16);
+  fw.train_from_buffer(f.buffer(12));
+  EXPECT_EQ(fw.last_selected_k(), cluster::select_k(12, {}));
+  EXPECT_EQ(fw.n_stored_ovts(), fw.last_selected_k());
+  EXPECT_EQ(fw.ovt_domains().size(), fw.n_stored_ovts());
+}
+
+TEST(Framework, OvtsAccumulateAcrossBuffers) {
+  Fixture f;
+  NvcimPtFramework fw(f.model, f.task, f.config());
+  fw.initialize_autoencoder(16);
+  fw.train_from_buffer(f.buffer(10, 1));
+  const std::size_t first = fw.n_stored_ovts();
+  fw.train_from_buffer(f.buffer(10, 2));
+  EXPECT_GT(fw.n_stored_ovts(), first);
+}
+
+TEST(Framework, InferenceBeforeTrainingThrows) {
+  Fixture f;
+  NvcimPtFramework fw(f.model, f.task, f.config());
+  fw.initialize_autoencoder(16);
+  Rng rng(1);
+  const data::Sample q = f.task.sample(0, rng);
+  EXPECT_THROW(fw.classify(q), Error);
+}
+
+TEST(Framework, RestoredPromptShapeMatchesTuner) {
+  Fixture f;
+  FrameworkConfig cfg = f.config();
+  NvcimPtFramework fw(f.model, f.task, cfg);
+  fw.initialize_autoencoder(16);
+  fw.train_from_buffer(f.buffer(10));
+  for (const Matrix& p : fw.restored_prompts()) {
+    EXPECT_EQ(p.rows(), cfg.tuner.n_virtual_tokens);
+    EXPECT_EQ(p.cols(), f.model.config().d_model);
+    EXPECT_TRUE(p.all_finite());
+  }
+}
+
+TEST(Framework, QueryRepresentationShape) {
+  Fixture f;
+  FrameworkConfig cfg = f.config();
+  NvcimPtFramework fw(f.model, f.task, cfg);
+  fw.initialize_autoencoder(16);
+  Rng rng(2);
+  const Matrix rep = fw.query_representation(f.task.sample(1, rng));
+  EXPECT_EQ(rep.rows(), cfg.tuner.n_virtual_tokens);
+  EXPECT_EQ(rep.cols(), cfg.autoencoder.code_dim);
+}
+
+TEST(Framework, ClassifyReturnsValidLabel) {
+  Fixture f;
+  NvcimPtFramework fw(f.model, f.task, f.config());
+  fw.initialize_autoencoder(16);
+  fw.train_from_buffer(f.buffer(10));
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    const data::Sample q = f.task.sample(i % 6, rng);
+    EXPECT_LT(fw.classify(q), f.task.label_ids().size());
+  }
+}
+
+TEST(Framework, RetrieveIndexInRange) {
+  Fixture f;
+  NvcimPtFramework fw(f.model, f.task, f.config());
+  fw.initialize_autoencoder(16);
+  fw.train_from_buffer(f.buffer(10));
+  Rng rng(4);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_LT(fw.retrieve_index(f.task.sample(i % 6, rng)), fw.n_stored_ovts());
+}
+
+TEST(Framework, EvaluateClassificationIsZeroOrOne) {
+  Fixture f;
+  NvcimPtFramework fw(f.model, f.task, f.config());
+  fw.initialize_autoencoder(16);
+  fw.train_from_buffer(f.buffer(10));
+  Rng rng(5);
+  const data::Sample q = f.task.sample(2, rng);
+  const double v = fw.evaluate(q, rng);
+  EXPECT_TRUE(v == 0.0 || v == 1.0);
+}
+
+TEST(Framework, GenerationTaskProducesRougeInUnitInterval) {
+  data::LampTask gen_task(data::lamp5_config());
+  llm::TinyLmConfig mcfg;
+  mcfg.vocab = gen_task.vocab_size();
+  mcfg.d_model = 16;
+  mcfg.n_layers = 1;
+  mcfg.n_heads = 2;
+  mcfg.ffn_hidden = 32;
+  mcfg.max_seq = 40;
+  mcfg.prompt_slots = 8;
+  llm::TinyLM model(mcfg, 5);
+  llm::PretrainConfig pt;
+  pt.steps = 40;
+  llm::pretrain(model, gen_task.pretraining_corpus(80, 3), pt);
+
+  FrameworkConfig cfg;
+  cfg.tuner.n_virtual_tokens = 4;
+  cfg.tuner.steps = 10;
+  cfg.autoencoder.steps = 50;
+  cfg.autoencoder.code_dim = 24;
+  cfg.variation = {nvm::rram1(), 0.1};
+  NvcimPtFramework fw(model, gen_task, cfg);
+  fw.initialize_autoencoder(12);
+  fw.train_from_buffer(gen_task.make_user(0, 10, 0).train);
+  Rng rng(6);
+  const data::Sample q = gen_task.sample(1, rng);
+  const double r = fw.evaluate(q, rng);
+  EXPECT_GE(r, 0.0);
+  EXPECT_LE(r, 1.0);
+}
+
+TEST(Framework, MipsConfigurationRuns) {
+  Fixture f;
+  FrameworkConfig cfg = f.config();
+  cfg.retrieval_algorithm = retrieval::Algorithm::MIPS;
+  cfg.payload_mitigation = mitigation::Kind::SWV;
+  NvcimPtFramework fw(f.model, f.task, cfg);
+  fw.initialize_autoencoder(16);
+  fw.train_from_buffer(f.buffer(10));
+  Rng rng(7);
+  EXPECT_NO_THROW(fw.classify(f.task.sample(0, rng)));
+}
+
+TEST(Framework, EmptyBufferThrows) {
+  Fixture f;
+  NvcimPtFramework fw(f.model, f.task, f.config());
+  EXPECT_THROW(fw.train_from_buffer({}), Error);
+}
+
+}  // namespace
+}  // namespace nvcim::core

@@ -1,0 +1,226 @@
+// End-to-end integration tests: the scientific mechanisms the benchmarks
+// rely on, exercised at reduced scale. These are the invariants behind the
+// paper's figures; they use a briefly pretrained backbone, so thresholds are
+// intentionally loose but directional.
+#include <gtest/gtest.h>
+
+#include "nvcim/core/experiment.hpp"
+
+namespace nvcim::core {
+namespace {
+
+/// Shared slow fixture: pretrain once for the whole suite.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = new data::LampTask(data::lamp1_config());
+    llm::TinyLmConfig cfg;
+    cfg.vocab = task_->vocab_size();
+    cfg.d_model = 32;
+    cfg.n_layers = 2;
+    cfg.n_heads = 4;
+    cfg.ffn_hidden = 64;
+    cfg.max_seq = 40;
+    cfg.prompt_slots = 12;
+    model_ = new llm::TinyLM(cfg, 11);
+    llm::PretrainConfig pt;
+    pt.steps = 800;
+    pt.batch_size = 12;
+    llm::pretrain(*model_, task_->pretraining_corpus(1800, 7), pt);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete task_;
+    model_ = nullptr;
+    task_ = nullptr;
+  }
+
+  static double classify_acc(std::size_t domain, const Matrix* prompt, int n, Rng& rng) {
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+      const data::Sample q = task_->sample(domain, rng);
+      hits += model_->classify(q.input, task_->label_ids(), prompt) ==
+                      static_cast<std::size_t>(q.label)
+                  ? 1
+                  : 0;
+    }
+    return static_cast<double>(hits) / n;
+  }
+
+  static data::LampTask* task_;
+  static llm::TinyLM* model_;
+};
+
+data::LampTask* IntegrationTest::task_ = nullptr;
+llm::TinyLM* IntegrationTest::model_ = nullptr;
+
+TEST_F(IntegrationTest, BackboneLearnsDomainConditionalMapping) {
+  // With explicit domain context the mapping must be close to solved; with
+  // only the ambiguous cue it must stay far below that.
+  Rng rng(1);
+  double with_ctx = 0.0, without_ctx = 0.0;
+  const int n = 60;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t d = rng.uniform_index(task_->config().n_domains);
+    const data::Sample s = task_->sample(d, rng, /*explicit_domain=*/true);
+    const Matrix ctx = model_->embed(s.example.prefix_tokens);
+    with_ctx += model_->classify(s.input, task_->label_ids(), &ctx) ==
+                        static_cast<std::size_t>(s.label)
+                    ? 1
+                    : 0;
+    const data::Sample p = task_->sample(d, rng);
+    without_ctx += model_->classify(p.input, task_->label_ids()) ==
+                           static_cast<std::size_t>(p.label)
+                       ? 1
+                       : 0;
+  }
+  with_ctx /= n;
+  without_ctx /= n;
+  EXPECT_GT(with_ctx, 0.85);
+  EXPECT_LT(without_ctx, with_ctx - 0.2);
+}
+
+TEST_F(IntegrationTest, DomainOvtBeatsNoPromptInDomain) {
+  // A soft prompt tuned on a handful of one domain's samples must raise
+  // in-domain accuracy above the promptless baseline (the OVT premise).
+  Rng rng(2);
+  double ovt_acc = 0.0, plain_acc = 0.0;
+  for (std::size_t d = 0; d < 3; ++d) {
+    std::vector<llm::TrainExample> ex;
+    std::vector<data::Sample> ss;
+    for (int i = 0; i < 5; ++i) {
+      ss.push_back(task_->sample(d, rng));
+      ex.push_back(ss.back().example);
+    }
+    llm::TunerConfig tc;
+    tc.steps = 60;
+    tc.n_virtual_tokens = 6;
+    tc.seed = 50 + d;
+    tc.init = resample_rows(model_->embed(ss[0].input), tc.n_virtual_tokens);
+    const Matrix ovt = llm::SoftPromptTuner(tc).train(*model_, ex);
+    ovt_acc += classify_acc(d, &ovt, 30, rng);
+    plain_acc += classify_acc(d, nullptr, 30, rng);
+  }
+  EXPECT_GT(ovt_acc / 3.0, plain_acc / 3.0 + 0.1);
+}
+
+TEST_F(IntegrationTest, NoiseAwareTrainingImprovesNoisyStorageAccuracy) {
+  // The NT mechanism (Table IV): under NVM storage noise, noise-aware OVTs
+  // must not do worse than plain OVTs, and the clean prompt must not do
+  // worse than the noisy one.
+  Rng rng(3);
+  compress::AutoencoderConfig ae_cfg;
+  ae_cfg.input_dim = model_->config().d_model;
+  ae_cfg.code_dim = 32;
+  ae_cfg.steps = 300;
+  compress::Autoencoder ae(ae_cfg);
+  {
+    std::vector<Matrix> rows;
+    for (int i = 0; i < 32; ++i)
+      rows.push_back(model_->embed(task_->sample(rng.uniform_index(6), rng).input));
+    ae.train(rows);
+  }
+  nvm::VariationModel var{nvm::fefet3(), 0.15};
+  cim::CrossbarConfig xbar;
+  mitigation::NoMitigation store;
+
+  double plain_noisy = 0.0, nt_noisy = 0.0, clean = 0.0;
+  for (std::size_t d = 0; d < 3; ++d) {
+    std::vector<llm::TrainExample> ex;
+    std::vector<data::Sample> ss;
+    for (int i = 0; i < 5; ++i) {
+      ss.push_back(task_->sample(d, rng));
+      ex.push_back(ss.back().example);
+    }
+    llm::TunerConfig tc;
+    tc.steps = 60;
+    tc.n_virtual_tokens = 6;
+    tc.seed = 80 + d;
+    tc.init = resample_rows(model_->embed(ss[0].input), tc.n_virtual_tokens);
+    const Matrix ovt_plain = llm::SoftPromptTuner(tc).train(*model_, ex);
+    llm::TunerConfig tcn = tc;
+    NoiseBandConfig bands;
+    bands.sigma = 0.15;
+    tcn.perturb = make_noise_hook(bands);
+    const Matrix ovt_nt = llm::SoftPromptTuner(tcn).train(*model_, ex);
+
+    auto through_nvm = [&](const Matrix& ovt, std::uint64_t seed) {
+      Rng srng(seed);
+      const Matrix code = ae.encode(resample_rows(ovt, 6));
+      return ae.decode(store.store_and_restore(code, xbar, var, srng));
+    };
+    const Matrix p_plain = through_nvm(ovt_plain, 900 + d);
+    const Matrix p_nt = through_nvm(ovt_nt, 900 + d);
+    plain_noisy += classify_acc(d, &p_plain, 30, rng);
+    nt_noisy += classify_acc(d, &p_nt, 30, rng);
+    clean += classify_acc(d, &ovt_plain, 30, rng);
+  }
+  // Directional, seed-tolerant bounds (means over 3 domains).
+  EXPECT_GE(nt_noisy / 3.0, plain_noisy / 3.0 - 0.2);
+  EXPECT_GE(clean / 3.0, plain_noisy / 3.0 - 0.1);
+}
+
+TEST_F(IntegrationTest, ExperimentMethodsGridRuns) {
+  // Smoke-test every Table-I method spec end to end on a reduced context.
+  const auto methods = table1_methods();
+  ASSERT_EQ(methods.size(), 6u);
+  EXPECT_EQ(methods.back().name, "NVCiM-PT");
+  EXPECT_TRUE(methods.back().noise_aware);
+  EXPECT_EQ(methods.back().retrieval, retrieval::Algorithm::SSA);
+  EXPECT_EQ(methods[3].name, "No-Miti(MIPS)");
+  EXPECT_FALSE(methods[3].noise_aware);
+}
+
+TEST_F(IntegrationTest, RetrievalBeatsChanceOnUserOvts) {
+  // End-to-end retrieval (encoded OVT keys on noisy crossbars, SSA) must
+  // pick the right domain's OVT more often than uniform chance.
+  Rng rng(4);
+  compress::AutoencoderConfig ae_cfg;
+  ae_cfg.input_dim = model_->config().d_model;
+  ae_cfg.code_dim = 32;
+  ae_cfg.steps = 300;
+  compress::Autoencoder ae(ae_cfg);
+  {
+    std::vector<Matrix> rows;
+    for (int i = 0; i < 32; ++i)
+      rows.push_back(model_->embed(task_->sample(rng.uniform_index(6), rng).input));
+    ae.train(rows);
+  }
+  const std::size_t n_vt = 6;
+  std::vector<Matrix> keys;
+  std::vector<std::size_t> key_domain;
+  for (std::size_t d = 0; d < 4; ++d) {
+    std::vector<llm::TrainExample> ex;
+    std::vector<data::Sample> ss;
+    for (int i = 0; i < 4; ++i) {
+      ss.push_back(task_->sample(d, rng));
+      ex.push_back(ss.back().example);
+    }
+    llm::TunerConfig tc;
+    tc.steps = 40;
+    tc.n_virtual_tokens = n_vt;
+    tc.seed = 60 + d;
+    tc.init = resample_rows(model_->embed(ss[0].input), n_vt);
+    keys.push_back(ae.encode(resample_rows(llm::SoftPromptTuner(tc).train(*model_, ex), n_vt)));
+    key_domain.push_back(d);
+  }
+  retrieval::CimRetriever::Config rcfg;
+  rcfg.algorithm = retrieval::Algorithm::SSA;
+  rcfg.variation = {nvm::fefet3(), 0.1};
+  retrieval::CimRetriever retriever(rcfg);
+  Rng store_rng(5);
+  retriever.store(keys, store_rng);
+
+  int hits = 0;
+  const int n = 60;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t d = rng.uniform_index(4);
+    const data::Sample q = task_->sample(d, rng);
+    const Matrix qr = ae.encode(resample_rows(model_->embed(q.input), n_vt));
+    hits += key_domain[retriever.retrieve(qr)] == d ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(hits) / n, 0.3);  // chance = 0.25
+}
+
+}  // namespace
+}  // namespace nvcim::core

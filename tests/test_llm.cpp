@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "nvcim/llm/model.hpp"
+#include "nvcim/llm/pretrain.hpp"
+#include "nvcim/llm/profiles.hpp"
+#include "nvcim/llm/tokenizer.hpp"
+
+namespace nvcim::llm {
+namespace {
+
+TinyLmConfig tiny_config() {
+  TinyLmConfig cfg;
+  cfg.vocab = 20;
+  cfg.d_model = 16;
+  cfg.n_layers = 1;
+  cfg.n_heads = 2;
+  cfg.ffn_hidden = 32;
+  cfg.max_seq = 32;
+  cfg.prompt_slots = 8;
+  return cfg;
+}
+
+TEST(Tokenizer, SpecialTokensStable) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.pad_id(), 0);
+  EXPECT_EQ(tok.unk_id(), 1);
+  EXPECT_EQ(tok.bos_id(), 2);
+  EXPECT_EQ(tok.eos_id(), 3);
+  EXPECT_EQ(tok.sep_id(), 4);
+  EXPECT_EQ(tok.vocab_size(), 5u);
+}
+
+TEST(Tokenizer, GrowsAndRoundtrips) {
+  Tokenizer tok;
+  const auto ids = tok.encode("hello world hello");
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], ids[2]);
+  EXPECT_EQ(tok.decode(ids), "hello world hello");
+}
+
+TEST(Tokenizer, FreezeStopsGrowth) {
+  Tokenizer tok;
+  tok.id_of("known");
+  tok.freeze();
+  EXPECT_EQ(tok.id_of("novel"), tok.unk_id());
+  EXPECT_NE(tok.lookup("known"), tok.unk_id());
+}
+
+TEST(Tokenizer, BadIdThrows) {
+  Tokenizer tok;
+  EXPECT_THROW(tok.word_of(99), Error);
+  EXPECT_THROW(tok.word_of(-1), Error);
+}
+
+TEST(MakeExample, MasksInputPredictsCompletion) {
+  const TrainExample ex = make_example({2, 5, 6}, {7, 3});
+  ASSERT_EQ(ex.tokens.size(), 5u);
+  ASSERT_EQ(ex.targets.size(), 5u);
+  EXPECT_EQ(ex.targets[0], -1);
+  EXPECT_EQ(ex.targets[1], -1);
+  EXPECT_EQ(ex.targets[2], 7);  // last input predicts first completion token
+  EXPECT_EQ(ex.targets[3], 3);
+  EXPECT_EQ(ex.targets[4], -1);
+}
+
+TEST(MakeExample, CarriesPrefix) {
+  const TrainExample ex = make_example({2, 5}, {3}, {9, 9});
+  EXPECT_EQ(ex.prefix_tokens.size(), 2u);
+  EXPECT_EQ(ex.prefix_tokens[0], 9);
+}
+
+TEST(TinyLM, LogitsShape) {
+  TinyLM model(tiny_config(), 1);
+  const Matrix z = model.logits_inference({2, 5, 6, 4});
+  EXPECT_EQ(z.rows(), 4u);
+  EXPECT_EQ(z.cols(), 20u);
+  EXPECT_TRUE(z.all_finite());
+}
+
+TEST(TinyLM, SoftPromptRowsAreSlicedOff) {
+  TinyLM model(tiny_config(), 1);
+  Rng rng(2);
+  const Matrix prompt = Matrix::randn(4, 16, rng);
+  const Matrix z = model.logits_inference({2, 5, 6}, &prompt);
+  EXPECT_EQ(z.rows(), 3u);
+}
+
+TEST(TinyLM, SoftPromptChangesLogits) {
+  TinyLM model(tiny_config(), 1);
+  Rng rng(3);
+  const Matrix prompt = Matrix::randn(4, 16, rng);
+  const Matrix z0 = model.logits_inference({2, 5, 6});
+  const Matrix z1 = model.logits_inference({2, 5, 6}, &prompt);
+  EXPECT_FALSE(allclose(z0, z1, 1e-5f, 1e-5f));
+}
+
+TEST(TinyLM, PromptLongerThanSlotsThrows) {
+  TinyLM model(tiny_config(), 1);
+  Rng rng(4);
+  const Matrix prompt = Matrix::randn(9, 16, rng);  // prompt_slots = 8
+  EXPECT_THROW(model.logits_inference({2, 5}, &prompt), Error);
+}
+
+TEST(TinyLM, TokenPositionsIndependentOfPromptLength) {
+  // Same tokens with different prompt lengths must produce *different*
+  // logits only through attention to the prompt, not positional shift; with
+  // an all-zero prompt whose rows are zero vectors the positional embedding
+  // of tokens stays fixed.
+  TinyLM model(tiny_config(), 1);
+  const Matrix z_no = model.logits_inference({2, 5, 6});
+  EXPECT_EQ(z_no.rows(), 3u);
+  // Sanity: max_seq bound respected.
+  std::vector<int> long_seq(20, 5);
+  EXPECT_NO_THROW(model.logits_inference(long_seq));
+  std::vector<int> too_long(30, 5);
+  EXPECT_THROW(model.logits_inference(too_long), Error);
+}
+
+TEST(TinyLM, KvPrefixPerLayerValidation) {
+  TinyLM model(tiny_config(), 1);
+  Rng rng(5);
+  KvPrefixValues kv(2);  // model has 1 layer
+  kv[0] = {Matrix::randn(2, 16, rng), Matrix::randn(2, 16, rng)};
+  kv[1] = {Matrix::randn(2, 16, rng), Matrix::randn(2, 16, rng)};
+  EXPECT_THROW(model.logits_inference({2, 5}, nullptr, &kv), Error);
+}
+
+TEST(TinyLM, ClassifyPicksHighestLabelLogit) {
+  TinyLM model(tiny_config(), 1);
+  const Matrix z = model.logits_inference({2, 5, 6});
+  const std::size_t last = z.rows() - 1;
+  const std::vector<int> labels{7, 8, 9};
+  const std::size_t pick = model.classify({2, 5, 6}, labels);
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    EXPECT_LE(z(last, static_cast<std::size_t>(labels[i])),
+              z(last, static_cast<std::size_t>(labels[pick])) + 1e-6f);
+}
+
+TEST(TinyLM, GreedyGenerationDeterministic) {
+  TinyLM model(tiny_config(), 1);
+  Rng r1(1), r2(2);
+  const auto a = model.generate({2, 5}, 5, 0.0f, r1, 3);
+  const auto b = model.generate({2, 5}, 5, 0.0f, r2, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_LE(a.size(), 5u);
+}
+
+TEST(TinyLM, GenerationStopsAtEos) {
+  TinyLM model(tiny_config(), 1);
+  Rng rng(1);
+  const auto out = model.generate({2, 5}, 8, 0.0f, rng, 3);
+  for (int t : out) EXPECT_NE(t, 3);
+}
+
+TEST(TinyLM, EmbedShapes) {
+  TinyLM model(tiny_config(), 1);
+  const Matrix e = model.embed({2, 5, 6});
+  EXPECT_EQ(e.rows(), 3u);
+  EXPECT_EQ(e.cols(), 16u);
+  const Matrix m = model.embed_mean({2, 5, 6});
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_NEAR(m(0, 0), (e(0, 0) + e(1, 0) + e(2, 0)) / 3.0f, 1e-5f);
+}
+
+TEST(TinyLM, ParamsCoverEverything) {
+  TinyLM model(tiny_config(), 1);
+  nn::ParamSet ps = model.params();
+  // tok/pos emb + 1 block (16) + final ln (2) + head (2) = 22
+  EXPECT_EQ(ps.all().size(), 22u);
+  EXPECT_EQ(model.parameter_count(), ps.parameter_count());
+}
+
+TEST(TinyLM, PrefixTokensActAsContext) {
+  TinyLM model(tiny_config(), 1);
+  TrainExample ex = make_example({2, 5, 6}, {7}, {9});
+  autograd::Tape tape;
+  nn::Binder bind(tape, true);
+  EXPECT_NO_THROW(model.loss(bind, ex));
+}
+
+TEST(Pretrain, LossDecreases) {
+  TinyLM model(tiny_config(), 7);
+  // Trivial corpus: token 5 is always followed by token 6.
+  std::vector<TrainExample> corpus;
+  for (int i = 0; i < 8; ++i) corpus.push_back(make_example({2, 5}, {6, 3}));
+  const float before = evaluate_loss(model, corpus);
+  PretrainConfig cfg;
+  cfg.steps = 80;
+  cfg.batch_size = 4;
+  pretrain(model, corpus, cfg);
+  const float after = evaluate_loss(model, corpus);
+  EXPECT_LT(after, before * 0.5f);
+}
+
+TEST(Quantize, ReducesDistinctValuesAndKeepsScale) {
+  TinyLM model(tiny_config(), 7);
+  const Matrix before = model.token_embedding().value;
+  quantize_weights(model, 4);
+  const Matrix& after = model.token_embedding().value;
+  EXPECT_NEAR(after.max_abs(), before.max_abs(), before.max_abs() * 0.2f);
+  // 4-bit symmetric: at most 15 distinct magnitudes around zero.
+  std::set<float> distinct;
+  for (std::size_t i = 0; i < after.size(); ++i) distinct.insert(after.at_flat(i));
+  EXPECT_LE(distinct.size(), 16u);
+}
+
+TEST(Quantize, RejectsBadBits) {
+  TinyLM model(tiny_config(), 7);
+  EXPECT_THROW(quantize_weights(model, 1), Error);
+  EXPECT_THROW(quantize_weights(model, 17), Error);
+}
+
+TEST(Profiles, ThreeDistinctEdgeModels) {
+  const auto profiles = edge_llm_profiles();
+  ASSERT_EQ(profiles.size(), 3u);
+  EXPECT_EQ(profiles[0].name, "Gemma-2B(sim)");
+  EXPECT_EQ(profiles[1].name, "Mistral-7B-GPTQ(sim)");
+  EXPECT_EQ(profiles[2].name, "Phi-2(sim)");
+  EXPECT_EQ(profiles[1].quant_bits, 4);
+  // Widths must differ so cross-model trends are meaningful.
+  EXPECT_NE(profiles[0].d_model, profiles[1].d_model);
+  EXPECT_NE(profiles[1].d_model, profiles[2].d_model);
+}
+
+}  // namespace
+}  // namespace nvcim::llm

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nvcim/tensor/matrix.hpp"
+
+namespace nvcim {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FLOAT_EQ(m(1, 2), 1.5f);
+  m(0, 1) = -2.0f;
+  EXPECT_FLOAT_EQ(m(0, 1), -2.0f);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m(1, 0), 4.0f);
+}
+
+TEST(Matrix, OutOfBoundsThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), Error);
+  EXPECT_THROW(m(0, 2), Error);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  EXPECT_FLOAT_EQ(i(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(i(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(i.sum(), 3.0f);
+}
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{10, 20}, {30, 40}};
+  const Matrix sum = a + b;
+  EXPECT_FLOAT_EQ(sum(1, 1), 44.0f);
+  const Matrix diff = b - a;
+  EXPECT_FLOAT_EQ(diff(0, 0), 9.0f);
+  const Matrix prod = hadamard(a, b);
+  EXPECT_FLOAT_EQ(prod(1, 0), 90.0f);
+  const Matrix scaled = a * 2.0f;
+  EXPECT_FLOAT_EQ(scaled(0, 1), 4.0f);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, Error);
+  EXPECT_THROW(hadamard(a, b), Error);
+}
+
+TEST(Matrix, AddScaled) {
+  Matrix a{{1, 1}};
+  Matrix b{{2, 4}};
+  a.add_scaled(b, 0.5f);
+  EXPECT_FLOAT_EQ(a(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(a(0, 1), 3.0f);
+}
+
+TEST(Matrix, MatmulAgainstManual) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(Matrix, MatmulShapeCheck) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(matmul(a, b), Error);
+}
+
+TEST(Matrix, MatmulVariantsAgree) {
+  Rng rng(5);
+  const Matrix a = Matrix::randn(4, 6, rng);
+  const Matrix b = Matrix::randn(4, 5, rng);
+  const Matrix c = Matrix::randn(5, 6, rng);
+  EXPECT_TRUE(allclose(matmul_tn(a, b), matmul(a.transposed(), b), 1e-4f, 1e-4f));
+  EXPECT_TRUE(allclose(matmul_nt(a, c), matmul(a, c.transposed()), 1e-4f, 1e-4f));
+}
+
+TEST(Matrix, TransposeRoundtrip) {
+  Rng rng(6);
+  const Matrix a = Matrix::randn(3, 7, rng);
+  EXPECT_TRUE(allclose(a.transposed().transposed(), a));
+}
+
+TEST(Matrix, ReshapePreservesData) {
+  Matrix a{{1, 2, 3, 4}};
+  const Matrix r = a.reshaped(2, 2);
+  EXPECT_FLOAT_EQ(r(1, 0), 3.0f);
+  EXPECT_THROW(a.reshaped(3, 2), Error);
+}
+
+TEST(Matrix, RowAndColSlice) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const Matrix rows = m.row_slice(1, 3);
+  EXPECT_EQ(rows.rows(), 2u);
+  EXPECT_FLOAT_EQ(rows(0, 0), 4.0f);
+  const Matrix cols = m.col_slice(1, 2);
+  EXPECT_EQ(cols.cols(), 1u);
+  EXPECT_FLOAT_EQ(cols(2, 0), 8.0f);
+}
+
+TEST(Matrix, SetRow) {
+  Matrix m(2, 3, 0.0f);
+  m.set_row(1, Matrix{{7, 8, 9}});
+  EXPECT_FLOAT_EQ(m(1, 2), 9.0f);
+  EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+}
+
+TEST(Matrix, Reductions) {
+  Matrix m{{-1, 2}, {3, -4}};
+  EXPECT_FLOAT_EQ(m.sum(), 0.0f);
+  EXPECT_FLOAT_EQ(m.mean(), 0.0f);
+  EXPECT_FLOAT_EQ(m.min(), -4.0f);
+  EXPECT_FLOAT_EQ(m.max(), 3.0f);
+  EXPECT_FLOAT_EQ(m.max_abs(), 4.0f);
+  EXPECT_NEAR(m.frobenius_norm(), std::sqrt(30.0f), 1e-5f);
+}
+
+TEST(Matrix, DotAndCosine) {
+  Matrix a{{1, 0, 2}};
+  Matrix b{{3, 5, 1}};
+  EXPECT_FLOAT_EQ(dot(a, b), 5.0f);
+  EXPECT_NEAR(cosine_similarity(a, a), 1.0f, 1e-6f);
+  Matrix zero(1, 3, 0.0f);
+  EXPECT_FLOAT_EQ(cosine_similarity(a, zero), 0.0f);
+}
+
+TEST(Matrix, Concat) {
+  Matrix a{{1, 2}}, b{{3, 4}};
+  const Matrix v = vconcat(a, b);
+  EXPECT_EQ(v.rows(), 2u);
+  EXPECT_FLOAT_EQ(v(1, 1), 4.0f);
+  const Matrix h = hconcat(a, b);
+  EXPECT_EQ(h.cols(), 4u);
+  EXPECT_FLOAT_EQ(h(0, 3), 4.0f);
+}
+
+TEST(Matrix, AveragePoolFlat) {
+  Matrix x{{1, 2, 3, 4, 5}};
+  const Matrix p2 = average_pool_flat(x, 2);
+  ASSERT_EQ(p2.size(), 3u);
+  EXPECT_FLOAT_EQ(p2.at_flat(0), 1.5f);
+  EXPECT_FLOAT_EQ(p2.at_flat(1), 3.5f);
+  EXPECT_FLOAT_EQ(p2.at_flat(2), 5.0f);  // short tail window
+  const Matrix p1 = average_pool_flat(x, 1);
+  EXPECT_TRUE(allclose(p1, x.flattened()));
+}
+
+TEST(Matrix, AveragePoolPreservesMeanForExactWindows) {
+  Rng rng(8);
+  const Matrix x = Matrix::randn(1, 16, rng);
+  const Matrix p = average_pool_flat(x, 4);
+  EXPECT_NEAR(p.mean(), x.mean(), 1e-5f);
+}
+
+TEST(Matrix, ResampleRowsDown) {
+  Matrix x{{1, 1}, {3, 3}, {5, 5}, {7, 7}};
+  const Matrix r = resample_rows(x, 2);
+  ASSERT_EQ(r.rows(), 2u);
+  EXPECT_FLOAT_EQ(r(0, 0), 2.0f);  // mean of rows 0,1
+  EXPECT_FLOAT_EQ(r(1, 0), 6.0f);  // mean of rows 2,3
+}
+
+TEST(Matrix, ResampleRowsUpRepeats) {
+  Matrix x{{1, 1}, {3, 3}};
+  const Matrix r = resample_rows(x, 4);
+  ASSERT_EQ(r.rows(), 4u);
+  EXPECT_FLOAT_EQ(r(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(r(3, 0), 3.0f);
+}
+
+TEST(Matrix, ResampleRowsIdentity) {
+  Rng rng(4);
+  const Matrix x = Matrix::randn(5, 3, rng);
+  EXPECT_TRUE(allclose(resample_rows(x, 5), x));
+}
+
+TEST(Matrix, AllFinite) {
+  Matrix m(2, 2, 1.0f);
+  EXPECT_TRUE(m.all_finite());
+  m(0, 0) = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(m.all_finite());
+}
+
+TEST(Matrix, RandnStatistics) {
+  Rng rng(21);
+  const Matrix m = Matrix::randn(100, 100, rng, 2.0f);
+  EXPECT_NEAR(m.mean(), 0.0f, 0.05f);
+  const float var = m.frobenius_norm() * m.frobenius_norm() / static_cast<float>(m.size());
+  EXPECT_NEAR(var, 4.0f, 0.2f);
+}
+
+class PoolScaleTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PoolScaleTest, PooledLengthIsCeilDiv) {
+  Rng rng(1);
+  const std::size_t scale = GetParam();
+  const Matrix x = Matrix::randn(3, 10, rng);  // 30 elements flattened
+  const Matrix p = average_pool_flat(x, scale);
+  EXPECT_EQ(p.size(), (30 + scale - 1) / scale);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, PoolScaleTest, ::testing::Values(1, 2, 3, 4, 7, 30, 31));
+
+}  // namespace
+}  // namespace nvcim

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nvcim/nn/layers.hpp"
+#include "nvcim/nn/optim.hpp"
+
+namespace nvcim::nn {
+namespace {
+
+TEST(Param, BinderMemoizesLeaves) {
+  autograd::Tape tape;
+  Binder bind(tape);
+  Rng rng(1);
+  Param p(Matrix::randn(2, 2, rng), "p");
+  autograd::Var a = bind(p);
+  autograd::Var b = bind(p);
+  EXPECT_EQ(a.index(), b.index());
+  EXPECT_EQ(bind.bound().size(), 1u);
+}
+
+TEST(Param, FrozenBinderDisablesGrad) {
+  autograd::Tape tape;
+  Binder bind(tape, /*frozen=*/true);
+  Param p(Matrix(2, 2, 1.0f), "p");
+  autograd::Var v = bind(p);
+  (void)v;
+  EXPECT_TRUE(bind.bound().empty());
+}
+
+TEST(LrSchedule, ConstantAndWarmup) {
+  LrSchedule s;
+  s.base_lr = 1.0f;
+  s.warmup_steps = 10;
+  EXPECT_NEAR(s.lr_at(0), 0.1f, 1e-5f);
+  EXPECT_NEAR(s.lr_at(9), 1.0f, 1e-5f);
+  EXPECT_NEAR(s.lr_at(100), 1.0f, 1e-5f);
+}
+
+TEST(LrSchedule, CosineDecaysToZero) {
+  LrSchedule s;
+  s.kind = LrSchedule::Kind::Cosine;
+  s.base_lr = 1.0f;
+  s.total_steps = 100;
+  EXPECT_NEAR(s.lr_at(0), 1.0f, 1e-4f);
+  EXPECT_LT(s.lr_at(99), 0.01f);
+  EXPECT_GT(s.lr_at(50), 0.3f);
+}
+
+TEST(LrSchedule, StepDecay) {
+  LrSchedule s;
+  s.kind = LrSchedule::Kind::StepDecay;
+  s.base_lr = 1.0f;
+  s.step_decay_every = 10;
+  s.step_decay_factor = 0.5f;
+  EXPECT_NEAR(s.lr_at(5), 1.0f, 1e-6f);
+  EXPECT_NEAR(s.lr_at(15), 0.5f, 1e-6f);
+  EXPECT_NEAR(s.lr_at(25), 0.25f, 1e-6f);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // minimize ||x - target||² — Adam should converge quickly.
+  Param x(Matrix(1, 3, 0.0f), "x");
+  const Matrix target{{1.0f, -2.0f, 0.5f}};
+  Adam::Config cfg;
+  cfg.schedule.base_lr = 0.1f;
+  Adam adam(cfg);
+  for (int step = 0; step < 200; ++step) {
+    autograd::Tape tape;
+    autograd::Var v = tape.leaf(x.value, true);
+    autograd::Var loss = tape.mse(v, target);
+    tape.backward(loss);
+    adam.step({{&x, v}});
+  }
+  EXPECT_TRUE(allclose(x.value, target, 0.02f, 0.02f));
+}
+
+TEST(Adam, SkipsParamsWithoutGrad) {
+  Param used(Matrix(1, 1, 1.0f), "used");
+  Param unused(Matrix(1, 1, 5.0f), "unused");
+  autograd::Tape tape;
+  autograd::Var vu = tape.leaf(used.value, true);
+  autograd::Var vn = tape.leaf(unused.value, true);
+  autograd::Var loss = tape.mean_all(vu);
+  tape.backward(loss);
+  Adam adam;
+  adam.step({{&used, vu}, {&unused, vn}});
+  EXPECT_FLOAT_EQ(unused.value(0, 0), 5.0f);
+  EXPECT_NE(used.value(0, 0), 1.0f);
+}
+
+TEST(Adam, ClippingBoundsUpdate) {
+  Param x(Matrix(1, 1, 0.0f), "x");
+  Adam::Config cfg;
+  cfg.clip_norm = 1e-3f;
+  cfg.schedule.base_lr = 1.0f;
+  Adam adam(cfg);
+  autograd::Tape tape;
+  autograd::Var v = tape.leaf(x.value, true);
+  autograd::Var loss = tape.mean_all(tape.scale(v, 1e6f));
+  tape.backward(loss);
+  adam.step({{&x, v}});
+  // Clipped gradient keeps the Adam moment estimates tiny; the first-step
+  // update is bounded by lr regardless.
+  EXPECT_LT(std::fabs(x.value(0, 0)), 1.1f);
+}
+
+TEST(Linear, ForwardMatchesManual) {
+  Rng rng(2);
+  Linear lin(3, 2, rng, "lin");
+  lin.w.value = Matrix{{1, 0}, {0, 1}, {1, 1}};
+  lin.b.value = Matrix{{0.5f, -0.5f}};
+  autograd::Tape tape;
+  Binder bind(tape, true);
+  autograd::Var x = tape.leaf(Matrix{{1, 2, 3}}, false);
+  const Matrix y = lin.forward(bind, x).value();
+  EXPECT_FLOAT_EQ(y(0, 0), 4.5f);
+  EXPECT_FLOAT_EQ(y(0, 1), 4.5f);
+}
+
+TEST(CausalMask, BlocksFutureAllowsPrefix) {
+  const Matrix m = causal_mask(3, 2);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  // Prefix columns always visible.
+  EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m(0, 1), 0.0f);
+  // Self visible, future blocked.
+  EXPECT_FLOAT_EQ(m(0, 2), 0.0f);
+  EXPECT_LT(m(0, 3), -1e8f);
+  EXPECT_FLOAT_EQ(m(2, 4), 0.0f);
+}
+
+TEST(Attention, OutputShapeAndFiniteness) {
+  Rng rng(3);
+  MultiHeadSelfAttention attn(8, 2, rng, "attn");
+  autograd::Tape tape;
+  Binder bind(tape, true);
+  autograd::Var x = tape.leaf(Matrix::randn(5, 8, rng), false);
+  const Matrix y = attn.forward(bind, x).value();
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 8u);
+  EXPECT_TRUE(y.all_finite());
+}
+
+TEST(Attention, CausalityHoldsForSuffixChange) {
+  // Changing a later token must not change earlier rows' output.
+  Rng rng(4);
+  MultiHeadSelfAttention attn(8, 2, rng, "attn");
+  Matrix x1 = Matrix::randn(4, 8, rng);
+  Matrix x2 = x1;
+  for (std::size_t c = 0; c < 8; ++c) x2(3, c) += 1.0f;
+
+  auto run = [&](const Matrix& x) {
+    autograd::Tape tape;
+    Binder bind(tape, true);
+    return attn.forward(bind, tape.leaf(x, false)).value();
+  };
+  const Matrix y1 = run(x1), y2 = run(x2);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 8; ++c) EXPECT_NEAR(y1(r, c), y2(r, c), 1e-5f);
+}
+
+TEST(Attention, PrefixKvChangesOutput) {
+  Rng rng(5);
+  MultiHeadSelfAttention attn(8, 2, rng, "attn");
+  const Matrix x = Matrix::randn(3, 8, rng);
+  KvPrefix prefix{Matrix::randn(2, 8, rng), Matrix::randn(2, 8, rng)};
+
+  autograd::Tape t1;
+  Binder b1(t1, true);
+  const Matrix y_plain = attn.forward(b1, t1.leaf(x, false)).value();
+  autograd::Tape t2;
+  Binder b2(t2, true);
+  const Matrix y_prefix = attn.forward(b2, t2.leaf(x, false), &prefix).value();
+  EXPECT_EQ(y_prefix.rows(), 3u);
+  EXPECT_FALSE(allclose(y_plain, y_prefix, 1e-4f, 1e-4f));
+}
+
+TEST(Attention, HeadCountMustDivideModel) {
+  Rng rng(6);
+  EXPECT_THROW(MultiHeadSelfAttention(10, 3, rng, "bad"), Error);
+}
+
+TEST(TransformerBlock, ResidualPathPreservesShape) {
+  Rng rng(7);
+  TransformerBlock block(8, 2, 16, rng, "blk");
+  autograd::Tape tape;
+  Binder bind(tape, true);
+  const Matrix y = block.forward(bind, tape.leaf(Matrix::randn(6, 8, rng), false)).value();
+  EXPECT_EQ(y.rows(), 6u);
+  EXPECT_EQ(y.cols(), 8u);
+  EXPECT_TRUE(y.all_finite());
+}
+
+TEST(TransformerBlock, CollectGathersAllParams) {
+  Rng rng(8);
+  TransformerBlock block(8, 2, 16, rng, "blk");
+  ParamSet ps;
+  block.collect(ps);
+  // ln1(2) + ln2(2) + attn(4 linears × 2) + ffn(2 linears × 2) = 16
+  EXPECT_EQ(ps.all().size(), 16u);
+  EXPECT_GT(ps.parameter_count(), 0u);
+}
+
+TEST(TransformerBlock, TrainableEndToEnd) {
+  // One block + pooling can fit a fixed random target — sanity of gradients
+  // flowing through attention, layernorm and GELU jointly.
+  Rng rng(9);
+  TransformerBlock block(8, 2, 16, rng, "blk");
+  const Matrix x = Matrix::randn(4, 8, rng);
+  const Matrix target(1, 1, 0.7f);
+  ParamSet ps;
+  block.collect(ps);
+  Adam::Config cfg;
+  cfg.schedule.base_lr = 0.01f;
+  Adam adam(cfg);
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 60; ++step) {
+    autograd::Tape tape;
+    Binder bind(tape, false);
+    autograd::Var out = block.forward(bind, tape.leaf(x, false));
+    autograd::Var loss = tape.mse(tape.mean_all(out), target);
+    tape.backward(loss);
+    adam.step(bind.bound());
+    if (step == 0) first_loss = loss.value()(0, 0);
+    last_loss = loss.value()(0, 0);
+  }
+  EXPECT_LT(last_loss, first_loss * 0.2f);
+}
+
+}  // namespace
+}  // namespace nvcim::nn

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nvcim/core/noise.hpp"
+
+namespace nvcim::core {
+namespace {
+
+TEST(NoiseBands, FactorSelection) {
+  NoiseBandConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.factor_for(0.9), cfg.f1);
+  EXPECT_DOUBLE_EQ(cfg.factor_for(0.76), cfg.f1);
+  EXPECT_DOUBLE_EQ(cfg.factor_for(0.75), cfg.f2);
+  EXPECT_DOUBLE_EQ(cfg.factor_for(0.5), cfg.f2);
+  EXPECT_DOUBLE_EQ(cfg.factor_for(0.49), cfg.f3);
+  EXPECT_DOUBLE_EQ(cfg.factor_for(0.25), cfg.f3);
+  EXPECT_DOUBLE_EQ(cfg.factor_for(0.24), cfg.f4);
+  EXPECT_DOUBLE_EQ(cfg.factor_for(0.0), cfg.f4);
+}
+
+TEST(InjectBandedNoise, ZeroMatrixUnchanged) {
+  Rng rng(1);
+  const Matrix s(3, 4, 0.0f);
+  EXPECT_TRUE(allclose(inject_banded_noise(s, {}, rng), s));
+}
+
+TEST(InjectBandedNoise, ZeroSigmaIsIdentity) {
+  Rng rng(2);
+  const Matrix s = Matrix::randn(4, 4, rng);
+  NoiseBandConfig cfg;
+  cfg.sigma = 0.0;
+  EXPECT_TRUE(allclose(inject_banded_noise(s, cfg, rng), s));
+}
+
+TEST(InjectBandedNoise, NoiseScaledByMaxAbs) {
+  // Eq. 4: S' = S + N·max|S|. Scaling the input scales the noise linearly.
+  NoiseBandConfig cfg;
+  cfg.sigma = 0.1;
+  Matrix s(1, 1000, 1.0f);  // every entry in the top band (|Ŝ|=1)
+  Rng r1(3);
+  const Matrix a = inject_banded_noise(s, cfg, r1);
+  Matrix s10 = s * 10.0f;
+  Rng r2(3);
+  const Matrix b = inject_banded_noise(s10, cfg, r2);
+  // Same RNG stream -> identical normalized noise, 10× absolute noise.
+  for (std::size_t i = 0; i < s.size(); ++i)
+    EXPECT_NEAR(b.at_flat(i) - 10.0f, 10.0f * (a.at_flat(i) - 1.0f), 1e-4f);
+}
+
+TEST(InjectBandedNoise, TopBandStatistics) {
+  NoiseBandConfig cfg;
+  cfg.sigma = 0.1;
+  Matrix s(1, 20000, 2.0f);  // max|S| = 2, all entries |Ŝ| = 1 -> f1 band
+  Rng rng(4);
+  const Matrix out = inject_banded_noise(s, cfg, rng);
+  double sq = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double d = out.at_flat(i) - 2.0;
+    sq += d * d;
+  }
+  const double stddev = std::sqrt(sq / s.size());
+  // Expected: sigma · f1 · max|S| = 0.1 · 1.0 · 2.0 = 0.2.
+  EXPECT_NEAR(stddev, 0.2, 0.01);
+}
+
+TEST(InjectBandedNoise, SmallMagnitudesGetLessNoise) {
+  NoiseBandConfig cfg;
+  cfg.sigma = 0.2;
+  // Half the entries at max magnitude, half tiny.
+  Matrix s(1, 20000, 0.0f);
+  for (std::size_t i = 0; i < 10000; ++i) s.at_flat(i) = 1.0f;
+  for (std::size_t i = 10000; i < 20000; ++i) s.at_flat(i) = 0.05f;
+  Rng rng(5);
+  const Matrix out = inject_banded_noise(s, cfg, rng);
+  double sq_hi = 0.0, sq_lo = 0.0;
+  for (std::size_t i = 0; i < 10000; ++i) {
+    const double d = out.at_flat(i) - 1.0;
+    sq_hi += d * d;
+  }
+  for (std::size_t i = 10000; i < 20000; ++i) {
+    const double d = out.at_flat(i) - 0.05;
+    sq_lo += d * d;
+  }
+  // Band factors: f1 = 1.0 vs f4 = 0.4 -> variance ratio 6.25.
+  EXPECT_NEAR(std::sqrt(sq_hi / sq_lo), 2.5, 0.2);
+}
+
+TEST(MakeNoiseHook, WrapsInjection) {
+  NoiseBandConfig cfg;
+  cfg.sigma = 0.1;
+  llm::PerturbFn hook = make_noise_hook(cfg);
+  ASSERT_TRUE(static_cast<bool>(hook));
+  Rng r1(6), r2(6);
+  const Matrix s = Matrix::randn(2, 3, r1);
+  const Matrix via_hook = hook(s, r2);
+  Rng r3(6);
+  Matrix direct_src = Matrix::randn(2, 3, r3);
+  EXPECT_EQ(via_hook.rows(), 2u);
+  EXPECT_FALSE(allclose(via_hook, s));  // noise applied
+}
+
+}  // namespace
+}  // namespace nvcim::core

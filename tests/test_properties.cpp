@@ -1,0 +1,204 @@
+// Property-based invariant tests across modules: algebraic identities and
+// monotonicity laws that must hold for every seed/shape in the sweep, not
+// just hand-picked examples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nvcim/cim/accelerator.hpp"
+#include "nvcim/cluster/kmeans.hpp"
+#include "nvcim/eval/metrics.hpp"
+#include "nvcim/retrieval/search.hpp"
+
+namespace nvcim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Matrix algebra laws over random seeds
+// ---------------------------------------------------------------------------
+
+class MatrixLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatrixLaws, MatmulDistributesOverAddition) {
+  Rng rng(GetParam());
+  const Matrix a = Matrix::randn(3, 4, rng);
+  const Matrix b = Matrix::randn(3, 4, rng);
+  const Matrix c = Matrix::randn(4, 5, rng);
+  EXPECT_TRUE(allclose(matmul(a + b, c), matmul(a, c) + matmul(b, c), 1e-4f, 1e-4f));
+}
+
+TEST_P(MatrixLaws, TransposeReversesMatmul) {
+  Rng rng(GetParam());
+  const Matrix a = Matrix::randn(3, 4, rng);
+  const Matrix b = Matrix::randn(4, 5, rng);
+  EXPECT_TRUE(allclose(matmul(a, b).transposed(),
+                       matmul(b.transposed(), a.transposed()), 1e-4f, 1e-4f));
+}
+
+TEST_P(MatrixLaws, DotIsSymmetricAndCauchySchwarz) {
+  Rng rng(GetParam());
+  const Matrix a = Matrix::randn(2, 6, rng);
+  const Matrix b = Matrix::randn(2, 6, rng);
+  EXPECT_NEAR(dot(a, b), dot(b, a), 1e-4f);
+  EXPECT_LE(std::fabs(dot(a, b)),
+            a.frobenius_norm() * b.frobenius_norm() * (1.0f + 1e-5f));
+  EXPECT_LE(std::fabs(cosine_similarity(a, b)), 1.0f + 1e-5f);
+}
+
+TEST_P(MatrixLaws, PoolingIsLinear) {
+  Rng rng(GetParam());
+  const Matrix a = Matrix::randn(1, 17, rng);
+  const Matrix b = Matrix::randn(1, 17, rng);
+  for (std::size_t scale : {2u, 3u, 4u}) {
+    const Matrix lhs = average_pool_flat(a + b, scale);
+    const Matrix rhs = average_pool_flat(a, scale) + average_pool_flat(b, scale);
+    EXPECT_TRUE(allclose(lhs, rhs, 1e-5f, 1e-5f));
+  }
+}
+
+TEST_P(MatrixLaws, ResampleRowsPreservesColumnMeansOnExactDivisors) {
+  Rng rng(GetParam());
+  const Matrix x = Matrix::randn(12, 5, rng);
+  const Matrix r = resample_rows(x, 4);  // 12 / 4 exact
+  for (std::size_t c = 0; c < 5; ++c) {
+    double mx = 0.0, mr = 0.0;
+    for (std::size_t i = 0; i < 12; ++i) mx += x(i, c);
+    for (std::size_t i = 0; i < 4; ++i) mr += r(i, c);
+    EXPECT_NEAR(mx / 12.0, mr / 4.0, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixLaws, ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+// ---------------------------------------------------------------------------
+// Retrieval laws
+// ---------------------------------------------------------------------------
+
+class RetrievalLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RetrievalLaws, WmsdpIsBilinear) {
+  Rng rng(GetParam());
+  const Matrix e1 = Matrix::randn(1, 24, rng);
+  const Matrix e2 = Matrix::randn(1, 24, rng);
+  const Matrix p = Matrix::randn(1, 24, rng);
+  const retrieval::ScaledSearchConfig cfg;
+  EXPECT_NEAR(retrieval::wmsdp(e1 + e2, p, cfg),
+              retrieval::wmsdp(e1, p, cfg) + retrieval::wmsdp(e2, p, cfg), 1e-3f);
+  EXPECT_NEAR(retrieval::wmsdp(e1 * 2.0f, p, cfg), 2.0f * retrieval::wmsdp(e1, p, cfg),
+              1e-3f);
+}
+
+TEST_P(RetrievalLaws, WmsdpIsSymmetric) {
+  Rng rng(GetParam());
+  const Matrix a = Matrix::randn(1, 20, rng);
+  const Matrix b = Matrix::randn(1, 20, rng);
+  EXPECT_NEAR(retrieval::wmsdp(a, b), retrieval::wmsdp(b, a), 1e-4f);
+}
+
+TEST_P(RetrievalLaws, ExactRetrievalPicksSelfFromOrthogonalSet) {
+  // With near-orthogonal keys, both MIPS and SSA must retrieve the key
+  // itself when queried with it.
+  Rng rng(GetParam());
+  std::vector<Matrix> keys;
+  for (int k = 0; k < 6; ++k) keys.push_back(Matrix::randn(1, 64, rng));
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    EXPECT_EQ(retrieval::mips_retrieve_exact(keys[k], keys), k);
+    EXPECT_EQ(retrieval::ssa_retrieve_exact(keys[k], keys), k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetrievalLaws, ::testing::Values(4, 9, 16, 25, 36));
+
+// ---------------------------------------------------------------------------
+// Crossbar laws
+// ---------------------------------------------------------------------------
+
+class CrossbarLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossbarLaws, NoiselessMatvecIsLinearInInput) {
+  cim::CrossbarConfig cfg;
+  cfg.rows = 24;
+  cfg.cols = 8;
+  cfg.adc_bits = 0;
+  cim::Crossbar xb(cfg);
+  Rng rng(GetParam());
+  Matrix w(16, 6);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w.at_flat(i) = static_cast<float>(static_cast<long>(rng.uniform_index(2001)) - 1000);
+  nvm::VariationModel noiseless{nvm::rram1(), 0.0};
+  xb.program(w, noiseless, rng);
+  const Matrix x1 = Matrix::randn(1, 16, rng);
+  const Matrix x2 = Matrix::randn(1, 16, rng);
+  const Matrix lhs = xb.matvec(x1 + x2);
+  const Matrix rhs = xb.matvec(x1) + xb.matvec(x2);
+  EXPECT_TRUE(allclose(lhs, rhs, 0.2f, 1e-3f));
+}
+
+TEST_P(CrossbarLaws, ReadbackErrorGrowsMonotonicallyWithSigma) {
+  Rng wrng(GetParam());
+  Matrix w(20, 10);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w.at_flat(i) = static_cast<float>(static_cast<long>(wrng.uniform_index(4001)) - 2000);
+  cim::CrossbarConfig cfg;
+  cfg.rows = 20;
+  cfg.cols = 10;
+  double prev = -1.0;
+  for (double sigma : {0.02, 0.1, 0.3}) {
+    // Average over several draws to make the monotonicity robust.
+    double err = 0.0;
+    for (int rep = 0; rep < 4; ++rep) {
+      cim::Crossbar xb(cfg);
+      Rng rng(1000 * rep + 7);
+      xb.program(w, {nvm::fefet3(), sigma}, rng);
+      err += (xb.read_values() - w).frobenius_norm();
+    }
+    EXPECT_GT(err, prev);
+    prev = err;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossbarLaws, ::testing::Values(3, 7, 11));
+
+// ---------------------------------------------------------------------------
+// Clustering + metric laws
+// ---------------------------------------------------------------------------
+
+class ClusterLaws : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ClusterLaws, InertiaNonIncreasingInK) {
+  Rng rng(5);
+  std::vector<Matrix> pts;
+  for (int i = 0; i < 30; ++i) pts.push_back(Matrix::randn(1, 4, rng));
+  const std::size_t k = GetParam();
+  cluster::KMeansConfig cfg;
+  cfg.seed = 9;
+  const double inertia_k = cluster::kmeans(pts, k, cfg).inertia;
+  const double inertia_k1 = cluster::kmeans(pts, k + 3, cfg).inertia;
+  // k-means++ with enough extra clusters must not fit worse.
+  EXPECT_LE(inertia_k1, inertia_k * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, ClusterLaws, ::testing::Values(1, 2, 4, 6));
+
+class MetricLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricLaws, RougeScoresAreBoundedAndConsistent) {
+  Rng rng(GetParam());
+  std::vector<int> hyp, ref;
+  for (int i = 0; i < 8; ++i) hyp.push_back(static_cast<int>(rng.uniform_index(6)));
+  for (int i = 0; i < 6; ++i) ref.push_back(static_cast<int>(rng.uniform_index(6)));
+  const auto r1 = eval::rouge1(hyp, ref);
+  const auto rl = eval::rouge_l(hyp, ref);
+  for (double v : {r1.precision, r1.recall, r1.f1, rl.precision, rl.recall, rl.f1}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // LCS overlap can never exceed clipped-bag overlap.
+  EXPECT_LE(rl.recall, r1.recall + 1e-12);
+  EXPECT_LE(rl.precision, r1.precision + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricLaws, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace nvcim

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "nvcim/retrieval/search.hpp"
+
+namespace nvcim::retrieval {
+namespace {
+
+TEST(Wmsdp, Scale1OnlyEqualsDotProduct) {
+  ScaledSearchConfig cfg;
+  cfg.scales = {1};
+  cfg.weights = {1.0f};
+  Matrix a{{1, 2, 3, 4}};
+  Matrix b{{4, 3, 2, 1}};
+  EXPECT_NEAR(wmsdp(a, b, cfg), dot(a, b), 1e-5f);
+}
+
+TEST(Wmsdp, PaperWeightsNormalized) {
+  // With equal operands, the WMSDP is a weighted mean of pooled self-dots;
+  // weights must normalize by their sum (Eq. 5 denominator).
+  Matrix a{{1, 1, 1, 1}};
+  ScaledSearchConfig cfg;  // scales {1,2,4}, weights {1,0.8,0.6}
+  // Pool_i of all-ones is all-ones, dots are 4, 2, 1.
+  const float expected = (1.0f * 4 + 0.8f * 2 + 0.6f * 1) / (1.0f + 0.8f + 0.6f);
+  EXPECT_NEAR(wmsdp(a, a, cfg), expected, 1e-5f);
+}
+
+TEST(Wmsdp, SizeMismatchThrows) {
+  Matrix a(1, 4, 1.0f), b(1, 5, 1.0f);
+  EXPECT_THROW(wmsdp(a, b), Error);
+}
+
+TEST(Wmsdp, ConfigValidation) {
+  ScaledSearchConfig bad;
+  bad.scales = {1, 2};
+  bad.weights = {1.0f};
+  Matrix a(1, 4, 1.0f);
+  EXPECT_THROW(wmsdp(a, a, bad), Error);
+}
+
+TEST(ExactRetrieval, MipsFindsMaxInnerProduct) {
+  Matrix q{{1, 0, 0, 0}};
+  std::vector<Matrix> keys{Matrix{{0, 1, 0, 0}}, Matrix{{2, 0, 0, 0}},
+                           Matrix{{1, 1, 1, 1}}};
+  EXPECT_EQ(mips_retrieve_exact(q, keys), 1u);
+}
+
+TEST(ExactRetrieval, SsaPrefersCoarseMatchUnderTokenMisalignment) {
+  // Query signal shifted by one position within a pooling window: scale-1
+  // dot misses it, scale-2/4 pooling recovers it.
+  Matrix q{{0, 4, 0, 0, 0, 0, 0, 0}};
+  Matrix shifted{{4, 0, 0, 0, 0, 0, 0, 0}};   // same window, different slot
+  Matrix far{{0, 0, 0, 0, 0, 4.4f, 0, 0}};    // different window, slightly larger
+  const std::vector<Matrix> keys{shifted, far};
+  // MIPS: both keys give zero dot; tie broken by order (index 0) — fine.
+  // SSA must pick the shifted key via pooled similarity.
+  EXPECT_EQ(ssa_retrieve_exact(q, keys), 0u);
+}
+
+TEST(ExactRetrieval, EmptyKeysThrow) {
+  Matrix q(1, 4, 1.0f);
+  EXPECT_THROW(mips_retrieve_exact(q, {}), Error);
+  EXPECT_THROW(ssa_retrieve_exact(q, {}), Error);
+}
+
+CimRetriever::Config retriever_config(Algorithm alg, double sigma = 0.0) {
+  CimRetriever::Config cfg;
+  cfg.algorithm = alg;
+  cfg.crossbar.rows = 64;
+  cfg.crossbar.cols = 16;
+  cfg.variation = {nvm::fefet3(), sigma};
+  return cfg;
+}
+
+std::vector<Matrix> block_keys(std::size_t n, std::size_t len, float mag = 1.0f) {
+  // Key i has a block of mass in segment i.
+  std::vector<Matrix> keys;
+  const std::size_t seg = len / n;
+  for (std::size_t i = 0; i < n; ++i) {
+    Matrix k(1, len, 0.0f);
+    for (std::size_t j = 0; j < seg; ++j) k(0, i * seg + j) = mag;
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+TEST(CimRetriever, NoiselessMipsMatchesExact) {
+  auto keys = block_keys(4, 64);
+  CimRetriever r(retriever_config(Algorithm::MIPS));
+  Rng rng(1);
+  r.store(keys, rng);
+  EXPECT_EQ(r.n_keys(), 4u);
+  Rng qr(2);
+  for (int t = 0; t < 10; ++t) {
+    const Matrix q = Matrix::randn(1, 64, qr);
+    EXPECT_EQ(r.retrieve(q), mips_retrieve_exact(q, keys));
+  }
+}
+
+TEST(CimRetriever, NoiselessSsaMatchesExact) {
+  auto keys = block_keys(4, 64);
+  CimRetriever r(retriever_config(Algorithm::SSA));
+  Rng rng(3);
+  r.store(keys, rng);
+  Rng qr(4);
+  for (int t = 0; t < 10; ++t) {
+    const Matrix q = Matrix::randn(1, 64, qr);
+    EXPECT_EQ(r.retrieve(q), ssa_retrieve_exact(q, keys));
+  }
+}
+
+TEST(CimRetriever, ScoresShapeAndOrdering) {
+  auto keys = block_keys(3, 48);
+  CimRetriever r(retriever_config(Algorithm::SSA));
+  Rng rng(5);
+  r.store(keys, rng);
+  const Matrix q = keys[2];  // exact match to key 2
+  const Matrix s = r.scores(q);
+  ASSERT_EQ(s.cols(), 3u);
+  EXPECT_GT(s(0, 2), s(0, 0));
+  EXPECT_GT(s(0, 2), s(0, 1));
+}
+
+TEST(CimRetriever, SsaMoreRobustThanMipsUnderDeviceNoise) {
+  // Aggregate retrieval accuracy over noisy stores: SSA's multi-scale
+  // averaging should match or beat raw MIPS on block-structured keys.
+  const std::size_t n_keys = 8, len = 128;
+  auto keys = block_keys(n_keys, len);
+  std::size_t mips_hits = 0, ssa_hits = 0, trials = 0;
+  for (int rep = 0; rep < 6; ++rep) {
+    CimRetriever mips(retriever_config(Algorithm::MIPS, 0.25));
+    CimRetriever ssa(retriever_config(Algorithm::SSA, 0.25));
+    Rng r1(100 + rep), r2(100 + rep);
+    mips.store(keys, r1);
+    ssa.store(keys, r2);
+    Rng qr(200 + rep);
+    for (std::size_t k = 0; k < n_keys; ++k) {
+      // Query = noisy version of key k with intra-window jitter.
+      Matrix q = keys[k];
+      for (std::size_t i = 0; i < q.size(); ++i)
+        q.at_flat(i) += static_cast<float>(qr.normal(0.0, 0.3));
+      mips_hits += mips.retrieve(q) == k ? 1 : 0;
+      ssa_hits += ssa.retrieve(q) == k ? 1 : 0;
+      ++trials;
+    }
+  }
+  EXPECT_GT(static_cast<double>(ssa_hits), 0.6 * static_cast<double>(trials));
+  EXPECT_GE(ssa_hits + 4, mips_hits);  // SSA within noise of or better than MIPS
+}
+
+TEST(CimRetriever, KeySizeConsistencyEnforced) {
+  CimRetriever r(retriever_config(Algorithm::MIPS));
+  Rng rng(6);
+  EXPECT_THROW(r.store({Matrix(1, 8, 1.0f), Matrix(1, 9, 1.0f)}, rng), Error);
+  EXPECT_THROW(r.store({}, rng), Error);
+  r.store({Matrix(1, 8, 1.0f)}, rng);
+  EXPECT_THROW(r.retrieve(Matrix(1, 9, 1.0f)), Error);
+}
+
+TEST(CimRetriever, MatrixShapedKeysAreFlattened) {
+  // Keys given as n_vt×code matrices (the framework's shape).
+  std::vector<Matrix> keys{Matrix(4, 8, 1.0f), Matrix(4, 8, -1.0f)};
+  CimRetriever r(retriever_config(Algorithm::SSA));
+  Rng rng(7);
+  r.store(keys, rng);
+  Matrix q(4, 8, 1.0f);
+  EXPECT_EQ(r.retrieve(q), 0u);
+}
+
+TEST(CimRetriever, CountersAccumulate) {
+  CimRetriever r(retriever_config(Algorithm::SSA));
+  Rng rng(8);
+  r.store(block_keys(2, 32), rng);
+  const auto before = r.counters();
+  EXPECT_GT(before.cells_programmed, 0u);
+  r.retrieve(Matrix(1, 32, 1.0f));
+  const auto after = r.counters();
+  EXPECT_GT(after.subarray_activations, before.subarray_activations);
+}
+
+}  // namespace
+}  // namespace nvcim::retrieval

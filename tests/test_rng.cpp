@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "nvcim/common/check.hpp"
+#include "nvcim/common/rng.hpp"
+
+namespace nvcim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(11);
+  const int n = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithMeanAndStddev) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(17);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) { EXPECT_THROW(Rng(1).uniform_index(0), Error); }
+
+TEST(Rng, PermutationIsBijection) {
+  Rng rng(19);
+  const auto p = rng.permutation(50);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  const auto s = rng.sample_without_replacement(20, 10);
+  EXPECT_EQ(s.size(), 10u);
+  std::set<std::size_t> seen(s.begin(), s.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(23);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), Error);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng root(31);
+  Rng a = root.split(0);
+  Rng b = root.split(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng r1(5), r2(5);
+  Rng a = r1.split(99);
+  Rng b = r2.split(99);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ReseedResets) {
+  Rng rng(3);
+  const auto first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(3);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+}  // namespace
+}  // namespace nvcim

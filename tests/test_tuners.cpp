@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "nvcim/llm/pretrain.hpp"
+#include "nvcim/llm/tuners.hpp"
+
+namespace nvcim::llm {
+namespace {
+
+TinyLmConfig tiny_config() {
+  TinyLmConfig cfg;
+  cfg.vocab = 20;
+  cfg.d_model = 16;
+  cfg.n_layers = 1;
+  cfg.n_heads = 2;
+  cfg.ffn_hidden = 32;
+  cfg.max_seq = 32;
+  cfg.prompt_slots = 8;
+  return cfg;
+}
+
+/// Loss of an example under a soft prompt (helper).
+float prompt_loss(TinyLM& model, const TrainExample& ex, const Matrix& prompt) {
+  autograd::Tape tape;
+  nn::Binder bind(tape, true);
+  autograd::Var p = tape.leaf(prompt, false);
+  return model.loss(bind, ex, p).value()(0, 0);
+}
+
+TEST(SoftPromptTuner, ReducesLossOnTrainingExample) {
+  TinyLM model(tiny_config(), 3);
+  const TrainExample ex = make_example({2, 5, 6}, {7, 3});
+  TunerConfig cfg;
+  cfg.steps = 80;
+  cfg.n_virtual_tokens = 4;
+  Rng rng(1);
+  const Matrix random_prompt = Matrix::randn(4, 16, rng, 0.5f);
+  const float before = prompt_loss(model, ex, random_prompt);
+  const Matrix tuned = SoftPromptTuner(cfg).train(model, {ex});
+  const float after = prompt_loss(model, ex, tuned);
+  EXPECT_LT(after, before);
+  EXPECT_EQ(tuned.rows(), 4u);
+  EXPECT_EQ(tuned.cols(), 16u);
+}
+
+TEST(SoftPromptTuner, DeterministicForSeed) {
+  TinyLM model(tiny_config(), 3);
+  const TrainExample ex = make_example({2, 5}, {7, 3});
+  TunerConfig cfg;
+  cfg.steps = 20;
+  const Matrix a = SoftPromptTuner(cfg).train(model, {ex});
+  const Matrix b = SoftPromptTuner(cfg).train(model, {ex});
+  EXPECT_TRUE(allclose(a, b));
+}
+
+TEST(SoftPromptTuner, InitShapeValidated) {
+  TinyLM model(tiny_config(), 3);
+  const TrainExample ex = make_example({2, 5}, {7, 3});
+  TunerConfig cfg;
+  cfg.steps = 2;
+  cfg.n_virtual_tokens = 4;
+  Rng rng(2);
+  cfg.init = Matrix::randn(3, 16, rng);  // wrong row count
+  EXPECT_THROW(SoftPromptTuner(cfg).train(model, {ex}), Error);
+}
+
+TEST(SoftPromptTuner, AnchorBoundsDrift) {
+  TinyLM model(tiny_config(), 3);
+  const TrainExample ex = make_example({2, 5, 6}, {7, 3});
+  Rng rng(4);
+  const Matrix init = Matrix::randn(4, 16, rng, 0.3f);
+
+  TunerConfig loose;
+  loose.steps = 60;
+  loose.n_virtual_tokens = 4;
+  loose.init = init;
+  loose.anchor_weight = 0.0f;
+  TunerConfig tight = loose;
+  tight.anchor_weight = 5.0f;
+
+  const Matrix p_loose = SoftPromptTuner(loose).train(model, {ex});
+  const Matrix p_tight = SoftPromptTuner(tight).train(model, {ex});
+  const float drift_loose = (p_loose - init).frobenius_norm();
+  const float drift_tight = (p_tight - init).frobenius_norm();
+  EXPECT_LT(drift_tight, drift_loose);
+}
+
+TEST(SoftPromptTuner, NoiseHookIsCalled) {
+  TinyLM model(tiny_config(), 3);
+  const TrainExample ex = make_example({2, 5}, {7, 3});
+  TunerConfig cfg;
+  cfg.steps = 5;
+  int calls = 0;
+  cfg.perturb = [&calls](const Matrix& s, Rng&) {
+    ++calls;
+    return s;
+  };
+  SoftPromptTuner(cfg).train(model, {ex});
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(SoftPromptTuner, EmptyExamplesThrows) {
+  TinyLM model(tiny_config(), 3);
+  TunerConfig cfg;
+  EXPECT_THROW(SoftPromptTuner(cfg).train(model, {}), Error);
+}
+
+TEST(SoftPromptTuner, BackboneIsFrozen) {
+  TinyLM model(tiny_config(), 3);
+  const Matrix emb_before = model.token_embedding().value;
+  const TrainExample ex = make_example({2, 5}, {7, 3});
+  TunerConfig cfg;
+  cfg.steps = 20;
+  SoftPromptTuner(cfg).train(model, {ex});
+  EXPECT_TRUE(allclose(model.token_embedding().value, emb_before));
+}
+
+TEST(PrefixKvTuner, ProducesPerLayerPrefixAndReducesLoss) {
+  TinyLM model(tiny_config(), 5);
+  const TrainExample ex = make_example({2, 5, 6}, {7, 3});
+  TunerConfig cfg;
+  cfg.steps = 80;
+  cfg.n_virtual_tokens = 3;
+  const KvPrefixValues kv = PrefixKvTuner(cfg).train(model, {ex});
+  ASSERT_EQ(kv.size(), 1u);  // one layer
+  EXPECT_EQ(kv[0].key.rows(), 3u);
+  EXPECT_EQ(kv[0].key.cols(), 16u);
+
+  auto kv_loss = [&](const KvPrefixValues* p) {
+    autograd::Tape tape;
+    nn::Binder bind(tape, true);
+    KvPrefixVars vars;
+    if (p != nullptr)
+      for (const auto& kvp : *p)
+        vars.emplace_back(tape.leaf(kvp.key, false), tape.leaf(kvp.value, false));
+    return model.loss(bind, ex, std::nullopt, p != nullptr ? &vars : nullptr).value()(0, 0);
+  };
+  EXPECT_LT(kv_loss(&kv), kv_loss(nullptr));
+}
+
+TEST(DeptTuner, AdapterShapesAndLoss) {
+  TinyLM model(tiny_config(), 7);
+  const TrainExample ex = make_example({2, 5, 6}, {7, 3});
+  DeptTuner::Config cfg;
+  cfg.base.steps = 80;
+  cfg.base.n_virtual_tokens = 2;
+  cfg.rank = 2;
+  const DeptAdapters a = DeptTuner(cfg).train(model, {ex});
+  EXPECT_EQ(a.soft_prompt.rows(), 2u);
+  EXPECT_EQ(a.lora_a.rows(), 20u);
+  EXPECT_EQ(a.lora_b.cols(), 16u);
+  const Matrix delta = a.embed_delta();
+  EXPECT_EQ(delta.rows(), 20u);
+  EXPECT_EQ(delta.cols(), 16u);
+
+  const Matrix z_plain = model.logits_inference({2, 5, 6});
+  const Matrix z_dept =
+      model.logits_inference({2, 5, 6}, &a.soft_prompt, nullptr, &delta);
+  EXPECT_FALSE(allclose(z_plain, z_dept, 1e-5f, 1e-5f));
+}
+
+TEST(DeptTuner, ZeroInitLoraBStartsAtIdentityDelta) {
+  TinyLM model(tiny_config(), 7);
+  DeptTuner::Config cfg;
+  cfg.base.steps = 1;
+  cfg.base.lr = 0.0f;
+  const DeptAdapters a =
+      DeptTuner(cfg).train(model, {make_example({2, 5}, {7, 3})});
+  // lr=0: B stays zero, so the embedding delta is exactly zero.
+  EXPECT_NEAR(a.embed_delta().max_abs(), 0.0f, 1e-7f);
+}
+
+}  // namespace
+}  // namespace nvcim::llm
