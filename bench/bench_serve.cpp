@@ -1,0 +1,170 @@
+// Serving-engine throughput harness: requests/sec of the multi-tenant
+// nvcim::serve::ServingEngine as a function of retrieval batch size and
+// worker-thread count, plus a microbench of batched vs per-query crossbar
+// retrieval (the engine's hot path).
+//
+// Deployments are synthetic (untrained autoencoder, random keys): the bench
+// exercises the serving data path — encode, sharded crossbar search, decode,
+// cache — not task accuracy. Scale via NVCIM_SERVE_REQUESTS / NVCIM_SERVE_USERS.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <vector>
+
+#include "nvcim/serve/engine.hpp"
+
+using namespace nvcim;
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Workload {
+  data::LampTask task{data::lamp1_config()};
+  llm::TinyLM model;
+  std::size_t n_users;
+  std::vector<std::pair<std::size_t, data::Sample>> requests;
+
+  Workload(std::size_t users, std::size_t n_requests) : model(make_model()), n_users(users) {
+    Rng rng(42);
+    for (std::size_t i = 0; i < n_requests; ++i) {
+      const std::size_t u = rng.uniform_index(n_users);
+      requests.emplace_back(u, task.sample(rng.uniform_index(task.config().n_domains), rng));
+    }
+  }
+
+  llm::TinyLM make_model() {
+    llm::TinyLmConfig cfg;
+    cfg.vocab = task.vocab_size();
+    cfg.d_model = 16;
+    cfg.n_layers = 1;
+    cfg.n_heads = 2;
+    cfg.ffn_hidden = 32;
+    cfg.max_seq = 40;
+    cfg.prompt_slots = 8;
+    return llm::TinyLM(cfg, 7);
+  }
+
+  core::TrainedDeployment make_deployment(std::size_t user, std::size_t n_keys) {
+    compress::AutoencoderConfig acfg;
+    acfg.input_dim = model.config().d_model;
+    acfg.code_dim = 24;
+    core::TrainedDeployment d;
+    d.autoencoder = std::make_shared<const compress::Autoencoder>(acfg);
+    d.n_virtual_tokens = 4;
+    Rng rng(1000 + user);
+    for (std::size_t k = 0; k < n_keys; ++k) {
+      d.keys.push_back(Matrix::rand_uniform(4, 24, rng, -1.0f, 1.0f));
+      d.stored_codes.push_back(Matrix::rand_uniform(4, 24, rng, -1.0f, 1.0f));
+      d.domains.push_back(k);
+    }
+    return d;
+  }
+
+  serve::ServingConfig engine_config(std::size_t shards, std::size_t threads,
+                                     std::size_t batch) const {
+    serve::ServingConfig cfg;
+    cfg.n_shards = shards;
+    cfg.n_threads = threads;
+    cfg.max_batch = batch;
+    cfg.queue_capacity = 128;
+    cfg.cache_capacity = 48;
+    cfg.crossbar.rows = 96;
+    cfg.crossbar.cols = 32;
+    cfg.variation = {nvm::fefet3(), 0.1};
+    return cfg;
+  }
+};
+
+double run_engine(Workload& w, std::size_t shards, std::size_t threads, std::size_t batch,
+                  serve::StatsSnapshot* out_stats) {
+  serve::ServingEngine engine(w.model, w.task, w.engine_config(shards, threads, batch));
+  for (std::size_t u = 0; u < w.n_users; ++u)
+    engine.add_deployment(u, w.make_deployment(u, /*n_keys=*/6));
+  engine.start();
+
+  const double t0 = now_ms();
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(w.requests.size());
+  for (const auto& [u, q] : w.requests) futures.push_back(engine.submit(u, q));
+  for (auto& f : futures) f.get();
+  const double elapsed_ms = now_ms() - t0;
+  if (out_stats != nullptr) *out_stats = engine.stats();
+  engine.stop();
+  return 1000.0 * static_cast<double>(w.requests.size()) / elapsed_ms;
+}
+
+void bench_batched_vs_per_query() {
+  std::printf("-- batched vs per-query crossbar retrieval "
+              "(one CimRetriever, 64 keys, SSA) --\n");
+  retrieval::CimRetriever::Config cfg;
+  cfg.crossbar.rows = 96;
+  cfg.crossbar.cols = 32;
+  cfg.variation = {nvm::fefet3(), 0.1};
+  retrieval::CimRetriever r(cfg);
+  Rng rng(3);
+  std::vector<Matrix> keys;
+  for (int i = 0; i < 64; ++i) keys.push_back(Matrix::rand_uniform(4, 24, rng, -1.0f, 1.0f));
+  r.store(keys, rng);
+
+  const std::size_t n_queries = 128;
+  std::vector<Matrix> queries;
+  for (std::size_t i = 0; i < n_queries; ++i)
+    queries.push_back(Matrix::rand_uniform(4, 24, rng, -1.0f, 1.0f));
+
+  const double t0 = now_ms();
+  for (const Matrix& q : queries) (void)r.retrieve(q);
+  const double per_query_ms = now_ms() - t0;
+
+  std::printf("  %-14s %10.1f ms  (%.0f q/s)\n", "per-query", per_query_ms,
+              1000.0 * n_queries / per_query_ms);
+  for (std::size_t batch : {8u, 16u, 32u}) {
+    const double t1 = now_ms();
+    for (std::size_t start = 0; start < n_queries; start += batch) {
+      const std::size_t stop = std::min(start + batch, n_queries);
+      std::vector<Matrix> chunk(queries.begin() + static_cast<long>(start),
+                                queries.begin() + static_cast<long>(stop));
+      (void)r.retrieve_batch(r.pack_queries(chunk));
+    }
+    const double batch_ms = now_ms() - t1;
+    std::printf("  batch B=%-5zu %10.1f ms  (%.0f q/s, %.2fx per-query)\n", batch, batch_ms,
+                1000.0 * n_queries / batch_ms, per_query_ms / batch_ms);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::size_t n_requests = 256, n_users = 16;
+  if (const char* e = std::getenv("NVCIM_SERVE_REQUESTS"))
+    n_requests = std::strtoul(e, nullptr, 10);
+  if (const char* e = std::getenv("NVCIM_SERVE_USERS")) n_users = std::strtoul(e, nullptr, 10);
+
+  std::printf("================================================================\n");
+  std::printf("bench_serve: multi-tenant serving engine throughput\n");
+  std::printf("%zu users, %zu requests, 2 shards\n", n_users, n_requests);
+  std::printf("================================================================\n");
+
+  bench_batched_vs_per_query();
+
+  Workload w(n_users, n_requests);
+  std::printf("\n-- requests/sec vs batch size and thread count --\n");
+  std::printf("  %8s %8s %12s %10s %10s %10s\n", "threads", "batch", "req/s", "avgB", "p50ms",
+              "p95ms");
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    for (std::size_t batch : {1u, 8u, 16u}) {
+      serve::StatsSnapshot s;
+      const double rps = run_engine(w, /*shards=*/2, threads, batch, &s);
+      std::printf("  %8zu %8zu %12.0f %10.1f %10.2f %10.2f\n", threads, batch, rps,
+                  s.avg_batch_size, s.p50_latency_ms, s.p95_latency_ms);
+    }
+  }
+  std::printf("\ncache: decoded-OVT LRU; raise NVCIM_SERVE_REQUESTS for steadier numbers\n");
+  return 0;
+}

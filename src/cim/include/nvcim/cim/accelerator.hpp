@@ -25,6 +25,11 @@ class Accelerator {
   /// computed via crossbar MVM; result is dequantized back to float scale.
   Matrix query(const Matrix& x);
 
+  /// Batched variant: B×len queries → B×n_keys scores in one pass over the
+  /// tile grid (B queries per MVM activation instead of one). Row b equals
+  /// query(x.row(b)) bit-for-bit; the win is wall-clock, not semantics.
+  Matrix query_batch(const Matrix& x);
+
   /// Noise-free reference result for diagnostics.
   Matrix query_ideal(const Matrix& x) const;
 

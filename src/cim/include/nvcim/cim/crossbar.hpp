@@ -70,6 +70,14 @@ class Crossbar {
   /// stored-integer scale. Non-const: accumulates op counters.
   Matrix matvec(const Matrix& x);
 
+  /// Batched y = x · W with identical semantics (and bit-identical results:
+  /// the per-column accumulation order over rows is preserved) but a
+  /// cache-friendly kernel — per slice plane the input rows stream across
+  /// contiguous plane rows into per-column accumulators, so one pass serves
+  /// all B queries of a serving batch. Counters advance exactly as B calls
+  /// to matvec would.
+  Matrix matvec_batch(const Matrix& x);
+
   /// Ideal (noise-free, ADC-free) reference of the programmed content.
   const Matrix& programmed_reference() const { return reference_; }
 

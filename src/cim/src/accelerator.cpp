@@ -49,6 +49,25 @@ Matrix Accelerator::query(const Matrix& x) {
   return y * scale_;
 }
 
+Matrix Accelerator::query_batch(const Matrix& x) {
+  NVCIM_CHECK_MSG(!tiles_.empty(), "no keys stored");
+  NVCIM_CHECK_MSG(x.rows() >= 1 && x.cols() == key_len_,
+                  "queries must be Bx" << key_len_);
+  Matrix y(x.rows(), n_keys_, 0.0f);
+  for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+    const std::size_t r0 = rt * cfg_.rows;
+    const std::size_t r1 = std::min(r0 + cfg_.rows, key_len_);
+    const Matrix xs = x.col_slice(r0, r1);
+    for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
+      const std::size_t c0 = ct * cfg_.cols;
+      Matrix part = tiles_[rt * col_tiles_ + ct].matvec_batch(xs);
+      for (std::size_t b = 0; b < part.rows(); ++b)
+        for (std::size_t c = 0; c < part.cols(); ++c) y(b, c0 + c) += part(b, c);
+    }
+  }
+  return y * scale_;
+}
+
 Matrix Accelerator::query_ideal(const Matrix& x) const {
   NVCIM_CHECK_MSG(keys_ref_.rows() == n_keys_, "no keys stored");
   return matmul_nt(x, keys_ref_);

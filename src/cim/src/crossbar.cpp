@@ -1,5 +1,6 @@
 #include "nvcim/cim/crossbar.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "nvcim/cim/quant.hpp"
@@ -113,6 +114,46 @@ Matrix Crossbar::matvec(const Matrix& x) {
         counters_.adc_conversions += cfg_.differential ? 2 : 1;
         const double v =
             adc_quantize(acc_pos, full_scale) - adc_quantize(acc_neg, full_scale);
+        y(m, c) += static_cast<float>(shift * v);
+      }
+    }
+  }
+  return y;
+}
+
+Matrix Crossbar::matvec_batch(const Matrix& x) {
+  NVCIM_CHECK_MSG(active_rows_ > 0, "crossbar not programmed");
+  NVCIM_CHECK_MSG(x.cols() == active_rows_, "input width " << x.cols() << " != programmed rows "
+                                                           << active_rows_);
+  const std::size_t S = cfg_.n_slices();
+  const double denorm = static_cast<double>(cfg_.levels() - 1);
+  Matrix y(x.rows(), active_cols_, 0.0f);
+  std::vector<double> acc_pos(active_cols_), acc_neg(active_cols_);
+
+  for (std::size_t m = 0; m < x.rows(); ++m) {
+    const float* xrow = x.data() + m * x.cols();
+    double abs_in = 0.0;
+    for (std::size_t i = 0; i < x.cols(); ++i) abs_in += std::fabs(xrow[i]);
+    const double full_scale = abs_in * denorm;
+
+    for (std::size_t s = 0; s < S; ++s) {
+      const double shift = std::pow(2.0, static_cast<double>(s * cfg_.bits_per_cell));
+      counters_.subarray_activations += cfg_.differential ? 2 : 1;
+      std::fill(acc_pos.begin(), acc_pos.end(), 0.0);
+      if (cfg_.differential) std::fill(acc_neg.begin(), acc_neg.end(), 0.0);
+      for (std::size_t r = 0; r < active_rows_; ++r) {
+        const double xv = xrow[r];
+        const float* prow = pos_planes_[s].data() + r * active_cols_;
+        for (std::size_t c = 0; c < active_cols_; ++c) acc_pos[c] += xv * prow[c];
+        if (cfg_.differential) {
+          const float* nrow = neg_planes_[s].data() + r * active_cols_;
+          for (std::size_t c = 0; c < active_cols_; ++c) acc_neg[c] += xv * nrow[c];
+        }
+      }
+      for (std::size_t c = 0; c < active_cols_; ++c) {
+        counters_.adc_conversions += cfg_.differential ? 2 : 1;
+        const double neg = cfg_.differential ? adc_quantize(acc_neg[c], full_scale) : 0.0;
+        const double v = adc_quantize(acc_pos[c], full_scale) - neg;
         y(m, c) += static_cast<float>(shift * v);
       }
     }

@@ -31,6 +31,32 @@ struct FrameworkConfig {
   std::uint64_t seed = 99;
 };
 
+/// The serve-side half of one user's deployment, produced by
+/// NvcimPtFramework::export_deployment(). Owns everything a serving engine
+/// needs to answer queries for this user — the encoded retrieval keys, the
+/// noisy NVM read-back payload codes, and the (shared) autoencoder — while
+/// the heavyweight training machinery stays behind in the framework. The
+/// frozen LLM backbone is deliberately NOT owned: one TinyLM is shared
+/// across every deployment of a serving engine.
+struct TrainedDeployment {
+  std::vector<Matrix> keys;          ///< clean encoded OVT codes (retrieval keys)
+  std::vector<Matrix> stored_codes;  ///< noisy NVM read-backs (decode on demand)
+  std::vector<std::size_t> domains;  ///< ground-truth domain per OVT (diagnostics)
+  std::shared_ptr<const compress::Autoencoder> autoencoder;
+  std::size_t n_virtual_tokens = 0;
+
+  std::size_t n_ovts() const { return keys.size(); }
+
+  /// Encoded fixed-shape representation of a query — identical to what the
+  /// exporting framework's query_representation() produced.
+  Matrix query_representation(const llm::TinyLM& model, const data::Sample& query) const;
+
+  /// Decode the stored (noisy) payload code of OVT `idx` into the soft
+  /// prompt inference uses — identical to the exporting framework's
+  /// restored_prompts()[idx].
+  Matrix decode_prompt(std::size_t idx) const;
+};
+
 /// The NVCiM-assisted prompt-tuning framework (paper Fig. 3), owning the
 /// full loop for one user deployment:
 ///  training mode  — representative selection (RS) over a full buffer,
@@ -53,6 +79,13 @@ class NvcimPtFramework {
   /// Training mode: consume a full buffer. May be called repeatedly; OVTs
   /// accumulate and the NVM store is rewritten.
   void train_from_buffer(const std::vector<data::Sample>& buffer);
+
+  /// Train/serve split: move the trained serving state (keys, stored payload
+  /// codes, domains) out into a TrainedDeployment for a serving engine to
+  /// own. The framework returns to its untrained state (n_stored_ovts() ==
+  /// 0) and may be retrained; the deployment receives a deep copy of the
+  /// autoencoder, so later retraining cannot disturb live serving.
+  TrainedDeployment export_deployment();
 
   /// Inference mode.
   std::size_t retrieve_index(const data::Sample& query);
@@ -78,11 +111,12 @@ class NvcimPtFramework {
   const data::LampTask* task_;
   FrameworkConfig cfg_;
   Rng rng_;
-  std::unique_ptr<compress::Autoencoder> autoenc_;
+  std::shared_ptr<compress::Autoencoder> autoenc_;
   std::unique_ptr<retrieval::CimRetriever> retriever_;
   std::unique_ptr<mitigation::MitigationMethod> mitigation_;
 
   std::vector<Matrix> ovt_payload_codes_;   ///< clean encoded OVTs (write targets)
+  std::vector<Matrix> stored_codes_;        ///< noisy NVM read-backs (decode inputs)
   std::vector<Matrix> restored_prompts_;    ///< decoded NVM read-backs (what inference uses)
   std::vector<std::size_t> ovt_domains_;    ///< ground-truth domain per OVT (diagnostics)
   std::size_t last_k_ = 0;

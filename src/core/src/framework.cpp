@@ -6,7 +6,7 @@ NvcimPtFramework::NvcimPtFramework(llm::TinyLM& model, const data::LampTask& tas
                                    FrameworkConfig cfg)
     : model_(&model), task_(&task), cfg_(std::move(cfg)), rng_(cfg_.seed) {
   cfg_.autoencoder.input_dim = model.config().d_model;
-  autoenc_ = std::make_unique<compress::Autoencoder>(cfg_.autoencoder);
+  autoenc_ = std::make_shared<compress::Autoencoder>(cfg_.autoencoder);
   mitigation_ = mitigation::make_mitigation(cfg_.payload_mitigation);
 
   retrieval::CimRetriever::Config rcfg;
@@ -96,13 +96,44 @@ void NvcimPtFramework::train_from_buffer(const std::vector<data::Sample>& buffer
   // prompt inference will actually use.
   Rng store_rng = rng_.split(0x570Eull + ovt_payload_codes_.size());
   retriever_->store(ovt_payload_codes_, store_rng);
+  stored_codes_.clear();
   restored_prompts_.clear();
   for (const Matrix& code : ovt_payload_codes_) {
     Rng cell_rng = store_rng.split(restored_prompts_.size() + 1);
     const Matrix noisy_code =
         mitigation_->store_and_restore(code, cfg_.crossbar, cfg_.variation, cell_rng);
+    stored_codes_.push_back(noisy_code);
     restored_prompts_.push_back(autoenc_->decode(noisy_code));
   }
+}
+
+TrainedDeployment NvcimPtFramework::export_deployment() {
+  NVCIM_CHECK_MSG(n_stored_ovts() > 0, "nothing trained to export");
+  TrainedDeployment d;
+  d.keys = std::move(ovt_payload_codes_);
+  d.stored_codes = std::move(stored_codes_);
+  d.domains = std::move(ovt_domains_);
+  // Deep copy: retraining this framework must not mutate the encoder a live
+  // serving engine is concurrently reading (and the exported keys were
+  // encoded by *this* snapshot of the autoencoder).
+  d.autoencoder = std::make_shared<const compress::Autoencoder>(*autoenc_);
+  d.n_virtual_tokens = cfg_.tuner.n_virtual_tokens;
+  ovt_payload_codes_.clear();
+  stored_codes_.clear();
+  restored_prompts_.clear();
+  ovt_domains_.clear();
+  return d;
+}
+
+Matrix TrainedDeployment::query_representation(const llm::TinyLM& model,
+                                               const data::Sample& query) const {
+  NVCIM_CHECK_MSG(autoencoder != nullptr, "deployment has no autoencoder");
+  return autoencoder->encode(resample_rows(model.embed(query.input), n_virtual_tokens));
+}
+
+Matrix TrainedDeployment::decode_prompt(std::size_t idx) const {
+  NVCIM_CHECK_MSG(idx < stored_codes.size(), "OVT index " << idx << " out of range");
+  return autoencoder->decode(stored_codes[idx]);
 }
 
 std::size_t NvcimPtFramework::retrieve_index(const data::Sample& query) {

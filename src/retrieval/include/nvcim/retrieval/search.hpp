@@ -51,6 +51,15 @@ class CimRetriever {
   /// Index of the best-scoring key.
   std::size_t retrieve(const Matrix& query);
 
+  /// Batched scores: each row of `queries` (B×key_size, flattened queries)
+  /// is scored against every stored key in one MVM pass per bank, returning
+  /// B×n_keys. Row b equals scores(queries.row(b)) bit-for-bit.
+  Matrix scores_batch(const Matrix& queries);
+  /// Batched retrieve over pre-flattened query rows.
+  std::vector<std::size_t> retrieve_batch(const Matrix& queries);
+  /// Flatten a query list into the B×key_size layout scores_batch expects.
+  Matrix pack_queries(const std::vector<Matrix>& queries) const;
+
   std::size_t n_keys() const { return n_keys_; }
   cim::OpCounters counters() const;
 

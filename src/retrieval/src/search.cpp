@@ -93,6 +93,42 @@ Matrix CimRetriever::scores(const Matrix& query) {
   return total;
 }
 
+Matrix CimRetriever::scores_batch(const Matrix& queries) {
+  NVCIM_CHECK_MSG(!banks_.empty(), "no keys stored");
+  NVCIM_CHECK_MSG(queries.cols() == key_size_, "query width " << queries.cols()
+                                                              << " != key size " << key_size_);
+  Matrix total(queries.rows(), n_keys_, 0.0f);
+  float weight_sum = 0.0f;
+  for (std::size_t b = 0; b < banks_.size(); ++b) {
+    const Matrix pooled = average_pool_rows(queries, bank_scales_[b]);
+    const Matrix s = banks_[b]->query_batch(pooled);
+    total.add_scaled(s, bank_weights_[b]);
+    weight_sum += bank_weights_[b];
+  }
+  total *= 1.0f / weight_sum;
+  return total;
+}
+
+std::vector<std::size_t> CimRetriever::retrieve_batch(const Matrix& queries) {
+  const Matrix s = scores_batch(queries);
+  std::vector<std::size_t> best(s.rows(), 0);
+  for (std::size_t r = 0; r < s.rows(); ++r)
+    for (std::size_t i = 1; i < s.cols(); ++i)
+      if (s(r, i) > s(r, best[r])) best[r] = i;
+  return best;
+}
+
+Matrix CimRetriever::pack_queries(const std::vector<Matrix>& queries) const {
+  NVCIM_CHECK_MSG(!queries.empty(), "no queries to pack");
+  Matrix packed(queries.size(), key_size_);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    NVCIM_CHECK_MSG(queries[i].size() == key_size_, "query size " << queries[i].size()
+                                                                  << " != key size " << key_size_);
+    packed.set_row(i, queries[i].flattened());
+  }
+  return packed;
+}
+
 std::size_t CimRetriever::retrieve(const Matrix& query) {
   const Matrix s = scores(query);
   std::size_t best = 0;

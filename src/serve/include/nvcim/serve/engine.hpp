@@ -1,0 +1,127 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "nvcim/core/framework.hpp"
+#include "nvcim/serve/lru_cache.hpp"
+#include "nvcim/serve/ovt_store.hpp"
+#include "nvcim/serve/stats.hpp"
+
+namespace nvcim::serve {
+
+struct ServingConfig {
+  std::size_t n_shards = 2;
+  std::size_t n_threads = 2;
+  std::size_t max_batch = 8;         ///< queries per crossbar MVM pass
+  std::size_t queue_capacity = 64;   ///< submit() blocks when the queue is full
+  std::size_t cache_capacity = 32;   ///< decoded-OVT LRU entries
+  bool run_inference = false;        ///< also classify with the shared backbone
+  retrieval::Algorithm algorithm = retrieval::Algorithm::SSA;
+  retrieval::ScaledSearchConfig ssa;
+  cim::CrossbarConfig crossbar;
+  nvm::VariationModel variation;
+  std::uint64_t seed = 2026;
+};
+
+/// Answer to one serving request.
+struct Response {
+  std::size_t user_id = 0;
+  std::size_t ovt_index = 0;  ///< user-local index of the retrieved OVT
+  std::size_t label = 0;      ///< classify() result when run_inference is on
+  bool has_label = false;
+  bool cache_hit = false;     ///< decoded prompt came from the LRU cache
+  double latency_ms = 0.0;    ///< submit → completion
+};
+
+/// Multi-tenant serving engine over one frozen backbone: owns N users'
+/// TrainedDeployments, packs their retrieval keys into a sharded crossbar
+/// store, and serves concurrent (user, query) requests through a thread
+/// pool with batched crossbar retrieval (up to max_batch queries per MVM
+/// pass per shard) and an LRU cache of decoded OVT prompts so hot users
+/// skip the autoencoder decode.
+///
+/// Lifecycle: construct → add_deployment()× → start() → submit()/serve()×
+/// → stop() (or destruction). The backbone and task outlive the engine.
+class ServingEngine {
+ public:
+  ServingEngine(llm::TinyLM& model, const data::LampTask& task, ServingConfig cfg);
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Take ownership of a trained user deployment. Must precede start().
+  void add_deployment(std::size_t user_id, core::TrainedDeployment deployment);
+
+  /// Build the sharded store and launch the worker pool.
+  void start();
+  bool running() const { return running_; }
+
+  /// Drain the queue and join the workers. Idempotent.
+  void stop();
+
+  /// Enqueue one request; blocks while the queue is at capacity
+  /// (backpressure). The future resolves when a worker completes the batch
+  /// containing the request.
+  std::future<Response> submit(std::size_t user_id, data::Sample query);
+
+  /// Synchronous convenience: submit and wait.
+  Response serve(std::size_t user_id, const data::Sample& query);
+
+  /// Serial reference path used by tests: same banks, same arithmetic, no
+  /// queue/threads/cache.
+  std::size_t retrieve_serial(std::size_t user_id, const data::Sample& query);
+
+  /// Decoded prompt for (user, ovt) through the LRU cache.
+  std::shared_ptr<const Matrix> prompt(std::size_t user_id, std::size_t ovt_index);
+
+  std::size_t n_users() const { return deployments_.size(); }
+  const ShardedOvtStore& store() const { return store_; }
+  const core::TrainedDeployment& deployment(std::size_t user_id) const;
+  StatsSnapshot stats() const { return stats_.snapshot(); }
+  std::size_t cache_evictions() const;
+
+ private:
+  struct Pending {
+    std::size_t user_id = 0;
+    data::Sample query;
+    std::chrono::steady_clock::time_point enqueued;
+    std::promise<Response> promise;
+  };
+
+  void worker_loop();
+  void process_batch(std::vector<Pending>&& batch);
+  std::shared_ptr<const Matrix> prompt_locked_fetch(std::size_t user_id, std::size_t ovt_index,
+                                                    bool* was_hit);
+
+  llm::TinyLM* model_;
+  const data::LampTask* task_;
+  ServingConfig cfg_;
+  ShardedOvtStore store_;
+  std::unordered_map<std::size_t, core::TrainedDeployment> deployments_;
+
+  mutable std::mutex cache_mu_;
+  LruCache<std::pair<std::size_t, std::size_t>, std::shared_ptr<const Matrix>, UserKeyHash>
+      cache_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;      ///< workers wait for work / shutdown
+  std::condition_variable capacity_cv_;   ///< producers wait for queue space
+  std::deque<Pending> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  bool stopping_ = false;  ///< guarded by queue_mu_
+
+  EngineStats stats_;
+};
+
+}  // namespace nvcim::serve

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "nvcim/retrieval/search.hpp"
+
+namespace nvcim::serve {
+
+struct OvtStoreConfig {
+  std::size_t n_shards = 2;
+  retrieval::Algorithm algorithm = retrieval::Algorithm::SSA;
+  retrieval::ScaledSearchConfig ssa;
+  cim::CrossbarConfig crossbar;
+  nvm::VariationModel variation;
+  cim::ProgramOptions program;
+};
+
+/// Multi-tenant OVT key store: packs many users' encoded prompt keys into a
+/// small number of shared crossbar shards. Each shard is one CimRetriever
+/// (per-scale accelerator banks) holding the concatenated keys of its users;
+/// a user owns a contiguous key range [begin, end) within its shard, and
+/// retrieval for a user argmaxes only inside that range. Users are assigned
+/// to the least-loaded shard at registration, so shards stay balanced
+/// without a separate placement pass.
+///
+/// Thread-safety: per-shard mutexes — queries against different shards
+/// proceed concurrently; queries against one shard serialize (the crossbar
+/// op counters make bank reads non-const).
+class ShardedOvtStore {
+ public:
+  /// A user's placement: shard index plus its key range within the shard.
+  struct UserSlot {
+    std::size_t shard = 0;
+    std::size_t begin = 0;  ///< first key index within the shard
+    std::size_t end = 0;    ///< one past the last key index
+    std::size_t n_keys() const { return end - begin; }
+  };
+
+  explicit ShardedOvtStore(OvtStoreConfig cfg);
+
+  /// Register a user's retrieval keys (all users must share one key shape).
+  /// Must precede build(); user ids are unique.
+  void add_user(std::size_t user_id, const std::vector<Matrix>& keys);
+
+  /// Program every shard's crossbar banks. Call once after registration.
+  void build(Rng& rng);
+  bool built() const { return built_; }
+
+  std::size_t n_shards() const { return shards_.size(); }
+  std::size_t n_users() const { return slots_.size(); }
+  std::size_t n_keys() const;
+  bool has_user(std::size_t user_id) const { return slots_.count(user_id) > 0; }
+  const UserSlot& slot(std::size_t user_id) const;
+
+  /// Batched scores of B flattened queries against every key of `shard`
+  /// (B×key_size → B×shard_keys). All queries of the batch must target this
+  /// shard; the caller masks rows to each user's slot afterwards.
+  Matrix shard_scores(std::size_t shard, const Matrix& queries);
+
+  /// Serial reference path: best user-local OVT index for one query,
+  /// through the single-query retrieval pipeline.
+  std::size_t retrieve_user(std::size_t user_id, const Matrix& query);
+
+  /// User-local argmax of one scores row restricted to the user's key range.
+  static std::size_t best_in_slot(const Matrix& scores, std::size_t row, const UserSlot& slot);
+
+  /// Total crossbar op counters across all shards.
+  cim::OpCounters counters() const;
+
+ private:
+  struct Shard {
+    std::vector<Matrix> keys;  ///< concatenated user keys, cleared by build()
+    std::unique_ptr<retrieval::CimRetriever> retriever;
+    std::mutex mu;
+  };
+
+  OvtStoreConfig cfg_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unordered_map<std::size_t, UserSlot> slots_;
+  bool built_ = false;
+};
+
+}  // namespace nvcim::serve

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace nvcim::serve {
+
+/// Aggregate view of an engine's counters at one instant.
+struct StatsSnapshot {
+  std::size_t requests = 0;
+  std::size_t batches = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+  double avg_batch_size = 0.0;
+  double throughput_rps = 0.0;  ///< requests per wall-clock second since start
+  double p50_latency_ms = 0.0;  ///< submit → response, per request
+  double p95_latency_ms = 0.0;
+};
+
+/// Thread-safe request/batch/latency accounting for a serving engine.
+/// Latency samples are kept in full (serving runs here are 1e2–1e5 requests,
+/// not production scale), so percentiles are exact.
+class EngineStats {
+ public:
+  void start_clock() {
+    std::lock_guard<std::mutex> lock(mu_);
+    start_ = Clock::now();
+    started_ = true;
+  }
+
+  void record_request(double latency_ms, bool cache_hit) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+    cache_hit ? ++cache_hits_ : ++cache_misses_;
+    latencies_ms_.push_back(latency_ms);
+  }
+
+  void record_batch(std::size_t batch_size) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++batches_;
+    batched_requests_ += batch_size;
+  }
+
+  StatsSnapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    StatsSnapshot s;
+    s.requests = requests_;
+    s.batches = batches_;
+    s.cache_hits = cache_hits_;
+    s.cache_misses = cache_misses_;
+    const std::size_t probes = cache_hits_ + cache_misses_;
+    if (probes > 0) s.cache_hit_rate = static_cast<double>(cache_hits_) / probes;
+    if (batches_ > 0) s.avg_batch_size = static_cast<double>(batched_requests_) / batches_;
+    if (started_ && requests_ > 0) {
+      const double secs = std::chrono::duration<double>(Clock::now() - start_).count();
+      if (secs > 0.0) s.throughput_rps = static_cast<double>(requests_) / secs;
+    }
+    if (!latencies_ms_.empty()) {
+      std::vector<double> sorted = latencies_ms_;
+      std::sort(sorted.begin(), sorted.end());
+      s.p50_latency_ms = percentile(sorted, 0.50);
+      s.p95_latency_ms = percentile(sorted, 0.95);
+    }
+    return s;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static double percentile(const std::vector<double>& sorted, double q) {
+    const std::size_t idx =
+        static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+  }
+
+  mutable std::mutex mu_;
+  Clock::time_point start_{};
+  bool started_ = false;
+  std::size_t requests_ = 0;
+  std::size_t batches_ = 0;
+  std::size_t batched_requests_ = 0;
+  std::size_t cache_hits_ = 0;
+  std::size_t cache_misses_ = 0;
+  std::vector<double> latencies_ms_;
+};
+
+}  // namespace nvcim::serve

@@ -1,0 +1,229 @@
+#include "nvcim/serve/engine.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace nvcim::serve {
+
+namespace {
+
+OvtStoreConfig store_config(const ServingConfig& cfg) {
+  OvtStoreConfig sc;
+  sc.n_shards = cfg.n_shards;
+  sc.algorithm = cfg.algorithm;
+  sc.ssa = cfg.ssa;
+  sc.crossbar = cfg.crossbar;
+  sc.variation = cfg.variation;
+  return sc;
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(llm::TinyLM& model, const data::LampTask& task, ServingConfig cfg)
+    : model_(&model),
+      task_(&task),
+      cfg_(cfg),
+      store_(store_config(cfg)),
+      cache_(cfg.cache_capacity) {
+  NVCIM_CHECK_MSG(cfg_.n_threads > 0, "engine needs at least one worker");
+  NVCIM_CHECK_MSG(cfg_.max_batch > 0, "max_batch must be positive");
+  NVCIM_CHECK_MSG(cfg_.queue_capacity > 0, "queue_capacity must be positive");
+}
+
+ServingEngine::~ServingEngine() { stop(); }
+
+void ServingEngine::add_deployment(std::size_t user_id, core::TrainedDeployment deployment) {
+  NVCIM_CHECK_MSG(!running_, "cannot add deployments while running");
+  NVCIM_CHECK_MSG(deployment.n_ovts() > 0, "deployment for user " << user_id << " is empty");
+  NVCIM_CHECK_MSG(deployment.autoencoder != nullptr,
+                  "deployment for user " << user_id << " has no autoencoder");
+  store_.add_user(user_id, deployment.keys);
+  deployments_.emplace(user_id, std::move(deployment));
+}
+
+void ServingEngine::start() {
+  NVCIM_CHECK_MSG(!running_, "engine already started");
+  NVCIM_CHECK_MSG(!deployments_.empty(), "no deployments to serve");
+  if (!store_.built()) {
+    Rng rng(cfg_.seed);
+    store_.build(rng);
+  }
+  stopping_ = false;
+  running_ = true;
+  stats_.start_clock();
+  workers_.reserve(cfg_.n_threads);
+  for (std::size_t t = 0; t < cfg_.n_threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void ServingEngine::stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  capacity_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  running_ = false;
+}
+
+std::future<Response> ServingEngine::submit(std::size_t user_id, data::Sample query) {
+  NVCIM_CHECK_MSG(running_, "engine not started");
+  NVCIM_CHECK_MSG(deployments_.count(user_id) > 0, "unknown user " << user_id);
+  Pending p;
+  p.user_id = user_id;
+  p.query = std::move(query);
+  p.enqueued = std::chrono::steady_clock::now();
+  std::future<Response> fut = p.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    capacity_cv_.wait(lock, [this] { return queue_.size() < cfg_.queue_capacity || stopping_; });
+    NVCIM_CHECK_MSG(!stopping_, "engine is stopping");
+    queue_.push_back(std::move(p));
+  }
+  queue_cv_.notify_one();
+  return fut;
+}
+
+Response ServingEngine::serve(std::size_t user_id, const data::Sample& query) {
+  return submit(user_id, query).get();
+}
+
+void ServingEngine::worker_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty() && stopping_) return;  // drained
+      const std::size_t take = std::min(cfg_.max_batch, queue_.size());
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    capacity_cv_.notify_all();
+    process_batch(std::move(batch));
+  }
+}
+
+void ServingEngine::process_batch(std::vector<Pending>&& batch) {
+  stats_.record_batch(batch.size());
+
+  // A bad request (e.g. a query the backbone rejects) must fail only its own
+  // future, never the worker thread — an exception escaping worker_loop
+  // would std::terminate the whole serving process.
+  std::vector<char> failed(batch.size(), 0);
+  const auto fail = [&](std::size_t i) {
+    failed[i] = 1;
+    batch[i].promise.set_exception(std::current_exception());
+  };
+
+  // Encode every query (pure CPU work, no shared mutable state) and group
+  // the batch by destination shard.
+  std::vector<Matrix> reps(batch.size());
+  std::map<std::size_t, std::vector<std::size_t>> by_shard;  // shard → batch positions
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    try {
+      const core::TrainedDeployment& dep = deployments_.at(batch[i].user_id);
+      reps[i] = dep.query_representation(*model_, batch[i].query).flattened();
+      by_shard[store_.slot(batch[i].user_id).shard].push_back(i);
+    } catch (...) {
+      fail(i);
+    }
+  }
+
+  // One batched MVM pass per shard; then mask each row to its user's slot.
+  std::vector<std::size_t> ovt_index(batch.size(), 0);
+  for (const auto& [shard, members] : by_shard) {
+    try {
+      Matrix queries(members.size(), reps[members[0]].size());
+      for (std::size_t r = 0; r < members.size(); ++r) queries.set_row(r, reps[members[r]]);
+      const Matrix scores = store_.shard_scores(shard, queries);
+      for (std::size_t r = 0; r < members.size(); ++r) {
+        const std::size_t i = members[r];
+        ovt_index[i] =
+            ShardedOvtStore::best_in_slot(scores, r, store_.slot(batch[i].user_id));
+      }
+    } catch (...) {
+      for (const std::size_t i : members)
+        if (!failed[i]) fail(i);
+    }
+  }
+
+  // Resolve prompts through the cache and finish each request.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (failed[i]) continue;
+    Pending& p = batch[i];
+    try {
+      Response resp;
+      resp.user_id = p.user_id;
+      resp.ovt_index = ovt_index[i];
+      std::shared_ptr<const Matrix> prompt_mat =
+          prompt_locked_fetch(p.user_id, ovt_index[i], &resp.cache_hit);
+      if (cfg_.run_inference && task_->config().kind == data::TaskKind::Classification) {
+        resp.label = model_->classify(p.query.input, task_->label_ids(), prompt_mat.get());
+        resp.has_label = true;
+      }
+      resp.latency_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - p.enqueued)
+                            .count();
+      stats_.record_request(resp.latency_ms, resp.cache_hit);
+      p.promise.set_value(std::move(resp));
+    } catch (...) {
+      fail(i);
+    }
+  }
+}
+
+std::shared_ptr<const Matrix> ServingEngine::prompt_locked_fetch(std::size_t user_id,
+                                                                 std::size_t ovt_index,
+                                                                 bool* was_hit) {
+  const std::pair<std::size_t, std::size_t> key{user_id, ovt_index};
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (auto hit = cache_.get(key)) {
+      if (was_hit != nullptr) *was_hit = true;
+      return *hit;
+    }
+  }
+  // Decode outside the cache lock: the autoencoder decode is the expensive
+  // step the cache exists to amortize, and it is const/thread-safe.
+  auto decoded = std::make_shared<const Matrix>(
+      deployments_.at(user_id).decode_prompt(ovt_index));
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    cache_.put(key, decoded);
+  }
+  if (was_hit != nullptr) *was_hit = false;
+  return decoded;
+}
+
+std::shared_ptr<const Matrix> ServingEngine::prompt(std::size_t user_id, std::size_t ovt_index) {
+  NVCIM_CHECK_MSG(deployments_.count(user_id) > 0, "unknown user " << user_id);
+  NVCIM_CHECK_MSG(ovt_index < deployments_.at(user_id).n_ovts(),
+                  "OVT " << ovt_index << " out of range for user " << user_id);
+  return prompt_locked_fetch(user_id, ovt_index, nullptr);
+}
+
+std::size_t ServingEngine::retrieve_serial(std::size_t user_id, const data::Sample& query) {
+  NVCIM_CHECK_MSG(store_.built(), "engine not started");
+  const core::TrainedDeployment& dep = deployments_.at(user_id);
+  return store_.retrieve_user(user_id, dep.query_representation(*model_, query));
+}
+
+const core::TrainedDeployment& ServingEngine::deployment(std::size_t user_id) const {
+  auto it = deployments_.find(user_id);
+  NVCIM_CHECK_MSG(it != deployments_.end(), "unknown user " << user_id);
+  return it->second;
+}
+
+std::size_t ServingEngine::cache_evictions() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.evictions();
+}
+
+}  // namespace nvcim::serve

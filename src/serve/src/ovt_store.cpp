@@ -1,0 +1,107 @@
+#include "nvcim/serve/ovt_store.hpp"
+
+#include <algorithm>
+
+namespace nvcim::serve {
+
+ShardedOvtStore::ShardedOvtStore(OvtStoreConfig cfg) : cfg_(std::move(cfg)) {
+  NVCIM_CHECK_MSG(cfg_.n_shards > 0, "store needs at least one shard");
+  shards_.reserve(cfg_.n_shards);
+  for (std::size_t s = 0; s < cfg_.n_shards; ++s) shards_.push_back(std::make_unique<Shard>());
+}
+
+void ShardedOvtStore::add_user(std::size_t user_id, const std::vector<Matrix>& keys) {
+  NVCIM_CHECK_MSG(!built_, "store already built; users must be added before build()");
+  NVCIM_CHECK_MSG(!keys.empty(), "user " << user_id << " has no keys");
+  NVCIM_CHECK_MSG(!has_user(user_id), "user " << user_id << " already registered");
+
+  // Least-loaded placement keeps shard key counts balanced.
+  std::size_t target = 0;
+  for (std::size_t s = 1; s < shards_.size(); ++s)
+    if (shards_[s]->keys.size() < shards_[target]->keys.size()) target = s;
+
+  Shard& shard = *shards_[target];
+  UserSlot slot;
+  slot.shard = target;
+  slot.begin = shard.keys.size();
+  for (const Matrix& k : keys) shard.keys.push_back(k);
+  slot.end = shard.keys.size();
+  slots_.emplace(user_id, slot);
+}
+
+void ShardedOvtStore::build(Rng& rng) {
+  NVCIM_CHECK_MSG(!built_, "store already built");
+  NVCIM_CHECK_MSG(!slots_.empty(), "no users registered");
+  retrieval::CimRetriever::Config rcfg;
+  rcfg.algorithm = cfg_.algorithm;
+  rcfg.ssa = cfg_.ssa;
+  rcfg.crossbar = cfg_.crossbar;
+  rcfg.variation = cfg_.variation;
+  rcfg.program = cfg_.program;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    if (shard.keys.empty()) continue;  // more shards than users
+    shard.retriever = std::make_unique<retrieval::CimRetriever>(rcfg);
+    Rng shard_rng = rng.split(0x5A4D0ull + s);
+    shard.retriever->store(shard.keys, shard_rng);
+    shard.keys.clear();
+    shard.keys.shrink_to_fit();
+  }
+  built_ = true;
+}
+
+std::size_t ShardedOvtStore::n_keys() const {
+  std::size_t n = 0;
+  for (const auto& [id, slot] : slots_) {
+    (void)id;
+    n += slot.n_keys();
+  }
+  return n;
+}
+
+const ShardedOvtStore::UserSlot& ShardedOvtStore::slot(std::size_t user_id) const {
+  auto it = slots_.find(user_id);
+  NVCIM_CHECK_MSG(it != slots_.end(), "unknown user " << user_id);
+  return it->second;
+}
+
+Matrix ShardedOvtStore::shard_scores(std::size_t shard, const Matrix& queries) {
+  NVCIM_CHECK_MSG(built_, "store not built");
+  NVCIM_CHECK_MSG(shard < shards_.size(), "shard " << shard << " out of range");
+  Shard& s = *shards_[shard];
+  NVCIM_CHECK_MSG(s.retriever != nullptr, "shard " << shard << " holds no keys");
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.retriever->scores_batch(queries);
+}
+
+std::size_t ShardedOvtStore::retrieve_user(std::size_t user_id, const Matrix& query) {
+  NVCIM_CHECK_MSG(built_, "store not built");
+  const UserSlot& us = slot(user_id);
+  Shard& s = *shards_[us.shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  const Matrix scores = s.retriever->scores(query);
+  return best_in_slot(scores, 0, us);
+}
+
+std::size_t ShardedOvtStore::best_in_slot(const Matrix& scores, std::size_t row,
+                                          const UserSlot& slot) {
+  NVCIM_CHECK_MSG(slot.end <= scores.cols(), "slot exceeds score row");
+  NVCIM_CHECK_MSG(slot.n_keys() > 0, "empty slot");
+  std::size_t best = slot.begin;
+  for (std::size_t i = slot.begin + 1; i < slot.end; ++i)
+    if (scores(row, i) > scores(row, best)) best = i;
+  return best - slot.begin;
+}
+
+cim::OpCounters ShardedOvtStore::counters() const {
+  cim::OpCounters c;
+  for (const auto& s : shards_) {
+    // Bank queries mutate the counters, so reading them takes the same
+    // per-shard lock as shard_scores().
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->retriever != nullptr) c += s->retriever->counters();
+  }
+  return c;
+}
+
+}  // namespace nvcim::serve

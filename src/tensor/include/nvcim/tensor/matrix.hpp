@@ -126,6 +126,11 @@ Matrix hconcat(const Matrix& left, const Matrix& right);
 /// window may be shorter. scale==1 returns a flattened copy.
 Matrix average_pool_flat(const Matrix& x, std::size_t scale);
 
+/// Row-wise batch of average_pool_flat: pools each row of a B×n matrix
+/// independently, producing B×⌈n/scale⌉. Row b equals
+/// average_pool_flat(x.row(b), scale) bit-for-bit.
+Matrix average_pool_rows(const Matrix& x, std::size_t scale);
+
 /// Resample a matrix to exactly `n_rows` rows by averaging contiguous row
 /// blocks (n_rows < rows) or nearest-row repetition (n_rows > rows). Used to
 /// put variable-length query embeddings into the fixed virtual-token shape.

@@ -253,6 +253,25 @@ Matrix average_pool_flat(const Matrix& x, std::size_t scale) {
   return p;
 }
 
+Matrix average_pool_rows(const Matrix& x, std::size_t scale) {
+  NVCIM_CHECK(scale >= 1);
+  if (scale == 1) return x;
+  const std::size_t n = x.cols();
+  const std::size_t out = (n + scale - 1) / scale;
+  Matrix p(x.rows(), out);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const float* row = x.data() + r * n;
+    for (std::size_t w = 0; w < out; ++w) {
+      const std::size_t begin = w * scale;
+      const std::size_t end = std::min(begin + scale, n);
+      double s = 0.0;
+      for (std::size_t i = begin; i < end; ++i) s += row[i];
+      p(r, w) = static_cast<float>(s / static_cast<double>(end - begin));
+    }
+  }
+  return p;
+}
+
 Matrix resample_rows(const Matrix& x, std::size_t n_rows) {
   NVCIM_CHECK(n_rows >= 1 && x.rows() >= 1);
   if (n_rows == x.rows()) return x;
