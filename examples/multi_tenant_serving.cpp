@@ -79,6 +79,12 @@ int main() {
               s.avg_batch_size);
   std::printf("throughput  %8.0f req/s\n", s.throughput_rps);
   std::printf("latency     p50 %.2f ms   p95 %.2f ms\n", s.p50_latency_ms, s.p95_latency_ms);
+  const double stage_total = s.encode_ms + s.retrieve_ms + s.decode_ms + s.classify_ms;
+  std::printf("stages      encode %.1f ms (%.0f%%) | retrieve %.1f ms (%.0f%%) | "
+              "decode %.1f ms (%.0f%%) | classify %.1f ms (%.0f%%)\n",
+              s.encode_ms, 100.0 * s.encode_ms / stage_total, s.retrieve_ms,
+              100.0 * s.retrieve_ms / stage_total, s.decode_ms, 100.0 * s.decode_ms / stage_total,
+              s.classify_ms, 100.0 * s.classify_ms / stage_total);
   std::printf("prompt LRU  %.0f%% hit rate (%zu hits / %zu misses)\n", 100.0 * s.cache_hit_rate,
               s.cache_hits, s.cache_misses);
   if (labelled > 0)

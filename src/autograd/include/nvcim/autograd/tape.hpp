@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <functional>
 #include <vector>
@@ -9,6 +10,17 @@
 namespace nvcim::autograd {
 
 class Tape;
+
+// tanh-approximation GELU constants, shared by the tape op and the tape-free
+// inference kernels (e.g. compress::Autoencoder) so both paths are
+// bit-identical.
+inline constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+inline constexpr float kGeluA = 0.044715f;
+
+inline float gelu_value(float x) {
+  const float u = kGeluC * (x + kGeluA * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(u));
+}
 
 /// Lightweight handle to a node on a Tape. Vars are only valid for the
 /// lifetime of the tape that created them and become dangling after

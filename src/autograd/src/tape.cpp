@@ -145,19 +145,10 @@ Var Tape::relu(Var a) {
   return v;
 }
 
-namespace {
-constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
-constexpr float kGeluA = 0.044715f;
-}  // namespace
-
 Var Tape::gelu(Var a) {
   const std::size_t ia = a.index();
   Matrix out = nodes_[ia].value;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const float x = out.at_flat(i);
-    const float u = kGeluC * (x + kGeluA * x * x * x);
-    out.at_flat(i) = 0.5f * x * (1.0f + std::tanh(u));
-  }
+  for (std::size_t i = 0; i < out.size(); ++i) out.at_flat(i) = gelu_value(out.at_flat(i));
   Var v = make(std::move(out), nodes_[ia].requires_grad, {});
   const std::size_t io = v.index();
   nodes_[io].backward_fn = [this, ia, io] {

@@ -31,6 +31,13 @@ struct AutoencoderConfig {
 
 class Autoencoder {
  public:
+  /// Reusable hidden-layer buffer for the inference-path forwards. One per
+  /// thread: the Autoencoder itself stays const/thread-safe while callers
+  /// that loop (e.g. serving workers) stop churning temporaries.
+  struct Scratch {
+    Matrix hidden;
+  };
+
   explicit Autoencoder(AutoencoderConfig cfg);
 
   const AutoencoderConfig& config() const { return cfg_; }
@@ -43,17 +50,23 @@ class Autoencoder {
   /// the buffer leftovers after representative selection).
   float update(const std::vector<Matrix>& data, std::size_t steps);
 
-  /// Encode n×input_dim rows to n×code_dim (values in [-1, 1]).
+  /// Encode n×input_dim rows to n×code_dim (values in [-1, 1]). Rows are
+  /// independent: encoding a stack of rows equals encoding each row alone.
   Matrix encode(const Matrix& x) const;
   /// Decode n×code_dim codes back to n×input_dim.
   Matrix decode(const Matrix& code) const;
+
+  /// encode() written into caller storage; allocation-free once `out` and
+  /// `scratch` are warm. Bit-identical to encode().
+  void encode_into(const Matrix& x, Matrix& out, Scratch* scratch = nullptr) const;
+  /// decode() written into caller storage. Bit-identical to decode().
+  void decode_into(const Matrix& code, Matrix& out, Scratch* scratch = nullptr) const;
 
   /// Mean squared reconstruction error of x (n×input_dim).
   float reconstruction_error(const Matrix& x) const;
 
  private:
   float run_training(const std::vector<Matrix>& data, std::size_t steps, bool reset_opt);
-  Matrix stack_rows(const std::vector<Matrix>& data) const;
 
   AutoencoderConfig cfg_;
   nn::Linear enc1_, enc2_, dec1_, dec2_;

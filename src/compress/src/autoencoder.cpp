@@ -12,23 +12,40 @@ Autoencoder::Autoencoder(AutoencoderConfig cfg) : cfg_(cfg) {
   dec2_ = nn::Linear(cfg_.hidden_dim, cfg_.input_dim, rng, "ae.dec2");
 }
 
-Matrix Autoencoder::stack_rows(const std::vector<Matrix>& data) const {
-  std::size_t total = 0;
-  for (const Matrix& m : data) {
-    NVCIM_CHECK_MSG(m.cols() == cfg_.input_dim, "autoencoder input dim mismatch");
-    total += m.rows();
+namespace {
+
+// y = x·W + b and the activation, with the exact arithmetic of the tape path
+// (nvcim::matmul, then a row-broadcast bias add, then the elementwise op) so
+// the tape-free inference forwards stay bit-identical to training-side ones.
+void affine_into(const Matrix& x, const nn::Linear& layer, Matrix& out) {
+  matmul_into(x, layer.w.value, out);
+  const float* bias = layer.b.value.data();
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.data() + r * out.cols();
+    for (std::size_t c = 0; c < out.cols(); ++c) row[c] += bias[c];
   }
-  NVCIM_CHECK_MSG(total > 0, "no training rows");
-  Matrix all(total, cfg_.input_dim);
-  std::size_t r = 0;
-  for (const Matrix& m : data)
-    for (std::size_t i = 0; i < m.rows(); ++i) all.set_row(r++, m.row(i));
-  return all;
 }
+
+void gelu_inplace(Matrix& m) {
+  for (std::size_t i = 0; i < m.size(); ++i) m.at_flat(i) = autograd::gelu_value(m.at_flat(i));
+}
+
+void tanh_inplace(Matrix& m) {
+  for (std::size_t i = 0; i < m.size(); ++i) m.at_flat(i) = std::tanh(m.at_flat(i));
+}
+
+}  // namespace
 
 float Autoencoder::run_training(const std::vector<Matrix>& data, std::size_t steps,
                                 bool reset_opt) {
-  const Matrix all = stack_rows(data);
+  std::vector<const Matrix*> parts;
+  parts.reserve(data.size());
+  for (const Matrix& m : data) {
+    NVCIM_CHECK_MSG(m.cols() == cfg_.input_dim, "autoencoder input dim mismatch");
+    if (m.rows() > 0) parts.push_back(&m);
+  }
+  NVCIM_CHECK_MSG(!parts.empty(), "no training rows");
+  const Matrix all = nvcim::stack_rows(parts);
   Rng rng(cfg_.seed ^ (opt_steps_done_ + 1));
   nn::Adam::Config acfg;
   acfg.schedule.kind = nn::LrSchedule::Kind::Cosine;
@@ -93,24 +110,35 @@ float Autoencoder::update(const std::vector<Matrix>& data, std::size_t steps) {
   return run_training(data, steps, /*reset_opt=*/false);
 }
 
+void Autoencoder::encode_into(const Matrix& x, Matrix& out, Scratch* scratch) const {
+  NVCIM_CHECK_MSG(x.cols() == cfg_.input_dim, "autoencoder input dim mismatch");
+  Scratch local;
+  Matrix& hidden = (scratch != nullptr ? scratch->hidden : local.hidden);
+  affine_into(x, enc1_, hidden);
+  gelu_inplace(hidden);
+  affine_into(hidden, enc2_, out);
+  tanh_inplace(out);
+}
+
+void Autoencoder::decode_into(const Matrix& code, Matrix& out, Scratch* scratch) const {
+  NVCIM_CHECK_MSG(code.cols() == cfg_.code_dim, "autoencoder code dim mismatch");
+  Scratch local;
+  Matrix& hidden = (scratch != nullptr ? scratch->hidden : local.hidden);
+  affine_into(code, dec1_, hidden);
+  gelu_inplace(hidden);
+  affine_into(hidden, dec2_, out);
+}
+
 Matrix Autoencoder::encode(const Matrix& x) const {
-  auto* self = const_cast<Autoencoder*>(this);
-  autograd::Tape tape;
-  nn::Binder bind(tape, /*frozen=*/true);
-  autograd::Var in = tape.leaf(x, false);
-  autograd::Var code =
-      tape.tanh_op(self->enc2_.forward(bind, tape.gelu(self->enc1_.forward(bind, in))));
-  return code.value();
+  Matrix out;
+  encode_into(x, out);
+  return out;
 }
 
 Matrix Autoencoder::decode(const Matrix& code) const {
-  auto* self = const_cast<Autoencoder*>(this);
-  autograd::Tape tape;
-  nn::Binder bind(tape, /*frozen=*/true);
-  autograd::Var in = tape.leaf(code, false);
-  autograd::Var rec =
-      self->dec2_.forward(bind, tape.gelu(self->dec1_.forward(bind, in)));
-  return rec.value();
+  Matrix out;
+  decode_into(code, out);
+  return out;
 }
 
 float Autoencoder::reconstruction_error(const Matrix& x) const {

@@ -31,6 +31,18 @@ struct FrameworkConfig {
   std::uint64_t seed = 99;
 };
 
+/// Reusable buffers for the batched encode path (typically one per serving
+/// worker): per-query embeddings, the stacked resampled rows and the
+/// autoencoder's hidden-layer scratch, so steady-state batches stop
+/// churning temporaries.
+struct EncodeScratch {
+  std::vector<const std::vector<int>*> seqs;
+  std::vector<Matrix> embeds;
+  std::vector<const Matrix*> parts;
+  Matrix stacked;
+  compress::Autoencoder::Scratch autoencoder;
+};
+
 /// The serve-side half of one user's deployment, produced by
 /// NvcimPtFramework::export_deployment(). Owns everything a serving engine
 /// needs to answer queries for this user — the encoded retrieval keys, the
@@ -51,10 +63,26 @@ struct TrainedDeployment {
   /// exporting framework's query_representation() produced.
   Matrix query_representation(const llm::TinyLM& model, const data::Sample& query) const;
 
+  /// Batched query_representation over deployments that share one
+  /// autoencoder (and virtual-token count): embeds every query, resamples
+  /// each to n_virtual_tokens rows, stacks the rows, and runs a single
+  /// autoencoder-encode GEMM for the whole group — one GEMM serving many
+  /// tenants. Returns a B×(n_virtual_tokens·code_dim) matrix whose row b is
+  /// bit-identical to
+  /// deps[b]->query_representation(model, *queries[b]).flattened().
+  static Matrix query_representation_batch(const llm::TinyLM& model,
+                                           const std::vector<const TrainedDeployment*>& deps,
+                                           const std::vector<const data::Sample*>& queries,
+                                           EncodeScratch* scratch = nullptr);
+
   /// Decode the stored (noisy) payload code of OVT `idx` into the soft
   /// prompt inference uses — identical to the exporting framework's
   /// restored_prompts()[idx].
   Matrix decode_prompt(std::size_t idx) const;
+
+  /// decode_prompt() into caller storage, reusing `scratch` across calls.
+  void decode_prompt_into(std::size_t idx, Matrix& out,
+                          compress::Autoencoder::Scratch* scratch = nullptr) const;
 };
 
 /// The NVCiM-assisted prompt-tuning framework (paper Fig. 3), owning the
@@ -83,8 +111,11 @@ class NvcimPtFramework {
   /// Train/serve split: move the trained serving state (keys, stored payload
   /// codes, domains) out into a TrainedDeployment for a serving engine to
   /// own. The framework returns to its untrained state (n_stored_ovts() ==
-  /// 0) and may be retrained; the deployment receives a deep copy of the
-  /// autoencoder, so later retraining cannot disturb live serving.
+  /// 0) and may be retrained. The deployment *shares* the autoencoder
+  /// (copy-on-write: the framework clones its own copy before the next
+  /// mutating train step), so deployments exported from the same encoder
+  /// snapshot alias one object — a serving engine can fuse their encode
+  /// GEMMs — while later retraining still cannot disturb live serving.
   TrainedDeployment export_deployment();
 
   /// Inference mode.
@@ -106,6 +137,9 @@ class NvcimPtFramework {
 
  private:
   Matrix encode_tokens(const Matrix& rows) const;
+  /// Clone the autoencoder if an exported deployment still shares it, so a
+  /// mutating train step never touches an encoder a live engine is reading.
+  void ensure_private_autoencoder();
 
   llm::TinyLM* model_;
   const data::LampTask* task_;

@@ -17,7 +17,15 @@ NvcimPtFramework::NvcimPtFramework(llm::TinyLM& model, const data::LampTask& tas
   retriever_ = std::make_unique<retrieval::CimRetriever>(rcfg);
 }
 
+void NvcimPtFramework::ensure_private_autoencoder() {
+  // use_count > 1 ⇒ an exported deployment (or engine) still references this
+  // encoder; clone before mutating so live serving keeps its snapshot.
+  if (autoenc_.use_count() > 1)
+    autoenc_ = std::make_shared<compress::Autoencoder>(*autoenc_);
+}
+
 void NvcimPtFramework::initialize_autoencoder(std::size_t n_samples) {
+  ensure_private_autoencoder();
   Rng rng = rng_.split(0xAE0ull);
   std::vector<Matrix> rows;
   rows.reserve(n_samples);
@@ -39,6 +47,7 @@ Matrix NvcimPtFramework::query_representation(const data::Sample& query) const {
 
 void NvcimPtFramework::train_from_buffer(const std::vector<data::Sample>& buffer) {
   NVCIM_CHECK_MSG(!buffer.empty(), "empty buffer");
+  ensure_private_autoencoder();
 
   // ---- Representative Selection (RS) ----
   std::vector<Matrix> embeddings;
@@ -113,10 +122,12 @@ TrainedDeployment NvcimPtFramework::export_deployment() {
   d.keys = std::move(ovt_payload_codes_);
   d.stored_codes = std::move(stored_codes_);
   d.domains = std::move(ovt_domains_);
-  // Deep copy: retraining this framework must not mutate the encoder a live
-  // serving engine is concurrently reading (and the exported keys were
-  // encoded by *this* snapshot of the autoencoder).
-  d.autoencoder = std::make_shared<const compress::Autoencoder>(*autoenc_);
+  // Share, don't deep-copy: deployments exported from one encoder snapshot
+  // alias the same Autoencoder, letting a serving engine fuse their encode
+  // GEMMs. Isolation from retraining is preserved by copy-on-write — any
+  // later mutating train step clones the framework's copy first (see
+  // ensure_private_autoencoder()).
+  d.autoencoder = autoenc_;
   d.n_virtual_tokens = cfg_.tuner.n_virtual_tokens;
   ovt_payload_codes_.clear();
   stored_codes_.clear();
@@ -131,9 +142,52 @@ Matrix TrainedDeployment::query_representation(const llm::TinyLM& model,
   return autoencoder->encode(resample_rows(model.embed(query.input), n_virtual_tokens));
 }
 
+Matrix TrainedDeployment::query_representation_batch(
+    const llm::TinyLM& model, const std::vector<const TrainedDeployment*>& deps,
+    const std::vector<const data::Sample*>& queries, EncodeScratch* scratch) {
+  NVCIM_CHECK_MSG(!deps.empty() && deps.size() == queries.size(),
+                  "batch of " << deps.size() << " deployments vs " << queries.size()
+                              << " queries");
+  const TrainedDeployment& lead = *deps[0];
+  NVCIM_CHECK_MSG(lead.autoencoder != nullptr, "deployment has no autoencoder");
+  for (const TrainedDeployment* d : deps)
+    NVCIM_CHECK_MSG(d != nullptr && d->autoencoder.get() == lead.autoencoder.get() &&
+                        d->n_virtual_tokens == lead.n_virtual_tokens,
+                    "batched encode requires one shared autoencoder and token count");
+
+  EncodeScratch local;
+  EncodeScratch& ws = (scratch != nullptr ? *scratch : local);
+  ws.seqs.clear();
+  ws.seqs.reserve(queries.size());
+  for (const data::Sample* q : queries) {
+    NVCIM_CHECK_MSG(q != nullptr, "null query in batch");
+    ws.seqs.push_back(&q->input);
+  }
+  model.embed_batch_into(ws.seqs, ws.embeds);
+  ws.parts.clear();
+  ws.parts.reserve(ws.embeds.size());
+  for (const Matrix& e : ws.embeds) ws.parts.push_back(&e);
+
+  // All B queries resampled to the shared virtual-token shape, stacked, and
+  // pushed through one encode GEMM. Rows are independent under encode, so
+  // row b of the result equals the serial per-query path bit-for-bit.
+  resample_rows_batch(ws.parts, lead.n_virtual_tokens, ws.stacked);
+  Matrix codes;
+  lead.autoencoder->encode_into(ws.stacked, codes, &ws.autoencoder);
+  const std::size_t code_dim = codes.cols();
+  codes.reshape_inplace(deps.size(), lead.n_virtual_tokens * code_dim);
+  return codes;
+}
+
 Matrix TrainedDeployment::decode_prompt(std::size_t idx) const {
   NVCIM_CHECK_MSG(idx < stored_codes.size(), "OVT index " << idx << " out of range");
   return autoencoder->decode(stored_codes[idx]);
+}
+
+void TrainedDeployment::decode_prompt_into(std::size_t idx, Matrix& out,
+                                           compress::Autoencoder::Scratch* scratch) const {
+  NVCIM_CHECK_MSG(idx < stored_codes.size(), "OVT index " << idx << " out of range");
+  autoencoder->decode_into(stored_codes[idx], out, scratch);
 }
 
 std::size_t NvcimPtFramework::retrieve_index(const data::Sample& query) {

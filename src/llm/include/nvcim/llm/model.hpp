@@ -90,6 +90,19 @@ class TinyLM {
   /// the framework clusters on and uses as the retrieval query.
   Matrix embed(const std::vector<int>& tokens) const;
 
+  /// embed() written into caller storage — allocation-free once `out` is
+  /// warm. Bit-identical to embed().
+  void embed_into(const std::vector<int>& tokens, Matrix& out) const;
+
+  /// Batched embed(): one table gather per sequence in a single pass.
+  /// Result b is bit-identical to embed(*seqs[b]).
+  std::vector<Matrix> embed_batch(const std::vector<const std::vector<int>*>& seqs) const;
+
+  /// embed_batch() into caller storage — steady-state allocation-free when
+  /// `out` (and its element matrices) are warm.
+  void embed_batch_into(const std::vector<const std::vector<int>*>& seqs,
+                        std::vector<Matrix>& out) const;
+
   /// Mean-pooled single-row embedding of a sequence.
   Matrix embed_mean(const std::vector<int>& tokens) const;
 

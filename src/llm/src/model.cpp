@@ -196,13 +196,34 @@ std::vector<int> TinyLM::generate(const std::vector<int>& prompt, std::size_t ma
 }
 
 Matrix TinyLM::embed(const std::vector<int>& tokens) const {
-  Matrix e(tokens.size(), cfg_.d_model);
+  Matrix e;
+  embed_into(tokens, e);
+  return e;
+}
+
+void TinyLM::embed_into(const std::vector<int>& tokens, Matrix& out) const {
+  out.resize(tokens.size(), cfg_.d_model);
+  const float* table = tok_emb_.value.data();
   for (std::size_t r = 0; r < tokens.size(); ++r) {
     NVCIM_CHECK(tokens[r] >= 0 && static_cast<std::size_t>(tokens[r]) < cfg_.vocab);
-    for (std::size_t c = 0; c < cfg_.d_model; ++c)
-      e(r, c) = tok_emb_.value(static_cast<std::size_t>(tokens[r]), c);
+    const float* src = table + static_cast<std::size_t>(tokens[r]) * cfg_.d_model;
+    std::copy(src, src + cfg_.d_model, out.data() + r * cfg_.d_model);
   }
-  return e;
+}
+
+std::vector<Matrix> TinyLM::embed_batch(const std::vector<const std::vector<int>*>& seqs) const {
+  std::vector<Matrix> out;
+  embed_batch_into(seqs, out);
+  return out;
+}
+
+void TinyLM::embed_batch_into(const std::vector<const std::vector<int>*>& seqs,
+                              std::vector<Matrix>& out) const {
+  out.resize(seqs.size());
+  for (std::size_t b = 0; b < seqs.size(); ++b) {
+    NVCIM_CHECK_MSG(seqs[b] != nullptr, "embed_batch: null sequence");
+    embed_into(*seqs[b], out[b]);
+  }
 }
 
 Matrix TinyLM::embed_mean(const std::vector<int>& tokens) const {

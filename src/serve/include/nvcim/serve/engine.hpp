@@ -45,9 +45,22 @@ struct Response {
 /// Multi-tenant serving engine over one frozen backbone: owns N users'
 /// TrainedDeployments, packs their retrieval keys into a sharded crossbar
 /// store, and serves concurrent (user, query) requests through a thread
-/// pool with batched crossbar retrieval (up to max_batch queries per MVM
-/// pass per shard) and an LRU cache of decoded OVT prompts so hot users
-/// skip the autoencoder decode.
+/// pool. Each worker processes a batch through four explicit stages:
+///
+///   1. encode   — requests grouped by shared autoencoder and pushed
+///                 through one batched encode GEMM per group (cross-user
+///                 fusion; see TrainedDeployment::query_representation_batch)
+///   2. retrieve — rows grouped by destination shard, one crossbar MVM pass
+///                 per shard, per-user slot masking
+///   3. decode   — decoded-prompt fetch through the LRU cache with
+///                 single-flight misses (concurrent misses on one key share
+///                 a single decode — no thundering herd; an evicted key is
+///                 decoded again on its next miss)
+///   4. classify — optional backbone classification, deduplicated within
+///                 the batch for identical (user, OVT, input) requests
+///
+/// Per-stage wall-clock is accumulated into EngineStats. Batched results
+/// are bit-identical to the serial reference path (retrieve_serial).
 ///
 /// Lifecycle: construct → add_deployment()× → start() → submit()/serve()×
 /// → stop() (or destruction). The backbone and task outlive the engine.
@@ -89,6 +102,12 @@ class ServingEngine {
   const core::TrainedDeployment& deployment(std::size_t user_id) const;
   StatsSnapshot stats() const { return stats_.snapshot(); }
   std::size_t cache_evictions() const;
+  /// Autoencoder decodes actually executed (cache misses that won the
+  /// single-flight race). With a cold cache, no evictions and any amount of
+  /// concurrency this equals the number of distinct (user, ovt) keys touched.
+  std::size_t prompt_decodes() const { return prompt_decodes_; }
+  /// Fetches that coalesced onto another worker's in-flight decode.
+  std::size_t coalesced_fetches() const { return coalesced_fetches_; }
 
  private:
   struct Pending {
@@ -98,20 +117,47 @@ class ServingEngine {
     std::promise<Response> promise;
   };
 
+  /// Per-worker reusable buffers: the encode-path scratch (embeddings,
+  /// stacked rows, autoencoder hidden layer), the batch's representation
+  /// matrix and the packed per-shard query matrix, so steady-state batches
+  /// allocate (almost) nothing.
+  struct WorkerState {
+    core::EncodeScratch encode;
+    Matrix reps;
+    Matrix shard_queries;
+  };
+
+  /// One in-flight decode for single-flight misses: the first worker to miss
+  /// on a key decodes; later missers wait on `cv` and share the result.
+  struct InFlightDecode {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const Matrix> value;
+    std::exception_ptr error;
+  };
+
   void worker_loop();
-  void process_batch(std::vector<Pending>&& batch);
+  void process_batch(std::vector<Pending>&& batch, WorkerState& ws);
   std::shared_ptr<const Matrix> prompt_locked_fetch(std::size_t user_id, std::size_t ovt_index,
-                                                    bool* was_hit);
+                                                    bool* was_hit,
+                                                    compress::Autoencoder::Scratch* scratch);
 
   llm::TinyLM* model_;
   const data::LampTask* task_;
   ServingConfig cfg_;
   ShardedOvtStore store_;
   std::unordered_map<std::size_t, core::TrainedDeployment> deployments_;
+  std::size_t rep_size_ = 0;  ///< flattened query-representation width
 
   mutable std::mutex cache_mu_;
   LruCache<std::pair<std::size_t, std::size_t>, std::shared_ptr<const Matrix>, UserKeyHash>
       cache_;
+  std::unordered_map<std::pair<std::size_t, std::size_t>, std::shared_ptr<InFlightDecode>,
+                     UserKeyHash>
+      inflight_;  ///< guarded by cache_mu_
+  std::atomic<std::size_t> prompt_decodes_{0};
+  std::atomic<std::size_t> coalesced_fetches_{0};
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;      ///< workers wait for work / shutdown

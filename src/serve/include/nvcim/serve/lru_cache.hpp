@@ -12,9 +12,9 @@ namespace nvcim::serve {
 
 /// Least-recently-used cache with intrusive hit/miss accounting. Not
 /// thread-safe by itself — the serving engine guards each get/put with its
-/// own mutex but releases it across a miss's decode, so two workers missing
-/// on the same key may both compute the value (an accepted race: the second
-/// put refreshes the entry, correctness is unaffected).
+/// own mutex and single-flights misses per key (see
+/// ServingEngine::prompt_locked_fetch), so a value is computed at most once
+/// however many workers miss on it concurrently.
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class LruCache {
  public:

@@ -19,6 +19,12 @@ struct StatsSnapshot {
   double throughput_rps = 0.0;  ///< requests per wall-clock second since start
   double p50_latency_ms = 0.0;  ///< submit → response, per request
   double p95_latency_ms = 0.0;
+  // Cumulative per-stage wall-clock across all processed batches (the four
+  // stages of ServingEngine::process_batch).
+  double encode_ms = 0.0;    ///< batched query encode (embed+resample+GEMM)
+  double retrieve_ms = 0.0;  ///< shard-grouped crossbar retrieval
+  double decode_ms = 0.0;    ///< prompt fetch (LRU / single-flight decode)
+  double classify_ms = 0.0;  ///< optional backbone classification
 };
 
 /// Thread-safe request/batch/latency accounting for a serving engine.
@@ -45,6 +51,16 @@ class EngineStats {
     batched_requests_ += batch_size;
   }
 
+  /// Accumulate one batch's per-stage wall-clock (milliseconds).
+  void record_stage_times(double encode_ms, double retrieve_ms, double decode_ms,
+                          double classify_ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    encode_ms_ += encode_ms;
+    retrieve_ms_ += retrieve_ms;
+    decode_ms_ += decode_ms;
+    classify_ms_ += classify_ms;
+  }
+
   StatsSnapshot snapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
     StatsSnapshot s;
@@ -65,6 +81,10 @@ class EngineStats {
       s.p50_latency_ms = percentile(sorted, 0.50);
       s.p95_latency_ms = percentile(sorted, 0.95);
     }
+    s.encode_ms = encode_ms_;
+    s.retrieve_ms = retrieve_ms_;
+    s.decode_ms = decode_ms_;
+    s.classify_ms = classify_ms_;
     return s;
   }
 
@@ -85,6 +105,10 @@ class EngineStats {
   std::size_t batched_requests_ = 0;
   std::size_t cache_hits_ = 0;
   std::size_t cache_misses_ = 0;
+  double encode_ms_ = 0.0;
+  double retrieve_ms_ = 0.0;
+  double decode_ms_ = 0.0;
+  double classify_ms_ = 0.0;
   std::vector<double> latencies_ms_;
 };
 

@@ -1,7 +1,8 @@
 #include "nvcim/serve/engine.hpp"
 
 #include <algorithm>
-#include <map>
+#include <cstring>
+#include <utility>
 
 namespace nvcim::serve {
 
@@ -15,6 +16,11 @@ OvtStoreConfig store_config(const ServingConfig& cfg) {
   sc.crossbar = cfg.crossbar;
   sc.variation = cfg.variation;
   return sc;
+}
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
 }  // namespace
@@ -48,6 +54,9 @@ void ServingEngine::start() {
     Rng rng(cfg_.seed);
     store_.build(rng);
   }
+  // All users share one key shape (enforced by the store), so every flattened
+  // query representation has the width of the first user's first key.
+  rep_size_ = deployments_.begin()->second.keys[0].size();
   stopping_ = false;
   running_ = true;
   stats_.start_clock();
@@ -92,6 +101,7 @@ Response ServingEngine::serve(std::size_t user_id, const data::Sample& query) {
 }
 
 void ServingEngine::worker_loop() {
+  WorkerState ws;
   for (;;) {
     std::vector<Pending> batch;
     {
@@ -106,98 +116,240 @@ void ServingEngine::worker_loop() {
       }
     }
     capacity_cv_.notify_all();
-    process_batch(std::move(batch));
+    process_batch(std::move(batch), ws);
   }
 }
 
-void ServingEngine::process_batch(std::vector<Pending>&& batch) {
+void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws) {
   stats_.record_batch(batch.size());
+  const std::size_t B = batch.size();
 
   // A bad request (e.g. a query the backbone rejects) must fail only its own
   // future, never the worker thread — an exception escaping worker_loop
   // would std::terminate the whole serving process.
-  std::vector<char> failed(batch.size(), 0);
+  std::vector<char> failed(B, 0);
   const auto fail = [&](std::size_t i) {
     failed[i] = 1;
     batch[i].promise.set_exception(std::current_exception());
   };
 
-  // Encode every query (pure CPU work, no shared mutable state) and group
-  // the batch by destination shard.
-  std::vector<Matrix> reps(batch.size());
-  std::map<std::size_t, std::vector<std::size_t>> by_shard;  // shard → batch positions
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point tick = Clock::now();
+  const auto lap = [&tick] {
+    const Clock::time_point now = Clock::now();
+    const double ms = ms_between(tick, now);
+    tick = now;
+    return ms;
+  };
+
+  // ---- Stage 1: batched encode, fused across users sharing an autoencoder.
+  // One row of `reps` per request (failed rows are never read); groups keyed
+  // by the deployment's autoencoder identity run as one stacked encode GEMM.
+  Matrix& reps = ws.reps;
+  reps.resize(B, rep_size_);
+  std::vector<std::pair<const compress::Autoencoder*, std::vector<std::size_t>>> groups;
+  for (std::size_t i = 0; i < B; ++i) {
+    const compress::Autoencoder* ae = deployments_.at(batch[i].user_id).autoencoder.get();
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [ae](const auto& g) { return g.first == ae; });
+    if (it == groups.end()) {
+      groups.emplace_back(ae, std::vector<std::size_t>{});
+      it = std::prev(groups.end());
+    }
+    it->second.push_back(i);
+  }
+  for (const auto& [ae, members] : groups) {
+    (void)ae;
+    bool fused = false;
     try {
-      const core::TrainedDeployment& dep = deployments_.at(batch[i].user_id);
-      reps[i] = dep.query_representation(*model_, batch[i].query).flattened();
-      by_shard[store_.slot(batch[i].user_id).shard].push_back(i);
+      std::vector<const core::TrainedDeployment*> deps;
+      std::vector<const data::Sample*> queries;
+      deps.reserve(members.size());
+      queries.reserve(members.size());
+      for (const std::size_t i : members) {
+        deps.push_back(&deployments_.at(batch[i].user_id));
+        queries.push_back(&batch[i].query);
+      }
+      const Matrix group_reps =
+          core::TrainedDeployment::query_representation_batch(*model_, deps, queries,
+                                                              &ws.encode);
+      NVCIM_CHECK_MSG(group_reps.cols() == rep_size_, "representation width mismatch");
+      for (std::size_t r = 0; r < members.size(); ++r)
+        std::memcpy(reps.data() + members[r] * rep_size_, group_reps.data() + r * rep_size_,
+                    rep_size_ * sizeof(float));
+      fused = true;
     } catch (...) {
-      fail(i);
+      // Fall through to the serial path below: one malformed query must not
+      // poison the whole group's GEMM.
+    }
+    if (!fused) {
+      for (const std::size_t i : members) {
+        try {
+          const Matrix rep =
+              deployments_.at(batch[i].user_id).query_representation(*model_, batch[i].query);
+          NVCIM_CHECK_MSG(rep.size() == rep_size_, "representation width mismatch");
+          std::memcpy(reps.data() + i * rep_size_, rep.data(), rep_size_ * sizeof(float));
+        } catch (...) {
+          fail(i);
+        }
+      }
     }
   }
+  const double encode_ms = lap();
 
-  // One batched MVM pass per shard; then mask each row to its user's slot.
-  std::vector<std::size_t> ovt_index(batch.size(), 0);
-  for (const auto& [shard, members] : by_shard) {
+  // ---- Stage 2: shard-grouped retrieval. One batched MVM pass per shard;
+  // each row is then masked to its user's slot. Shard ids are dense, so a
+  // plain vector replaces the old per-batch std::map.
+  std::vector<std::size_t> ovt_index(B, 0);
+  std::vector<std::vector<std::size_t>> by_shard(store_.n_shards());
+  for (std::size_t i = 0; i < B; ++i)
+    if (!failed[i]) by_shard[store_.slot(batch[i].user_id).shard].push_back(i);
+  for (std::size_t shard = 0; shard < by_shard.size(); ++shard) {
+    const std::vector<std::size_t>& members = by_shard[shard];
+    if (members.empty()) continue;
     try {
-      Matrix queries(members.size(), reps[members[0]].size());
-      for (std::size_t r = 0; r < members.size(); ++r) queries.set_row(r, reps[members[r]]);
+      Matrix& queries = ws.shard_queries;
+      queries.resize(members.size(), rep_size_);
+      for (std::size_t r = 0; r < members.size(); ++r)
+        std::memcpy(queries.data() + r * rep_size_, reps.data() + members[r] * rep_size_,
+                    rep_size_ * sizeof(float));
       const Matrix scores = store_.shard_scores(shard, queries);
       for (std::size_t r = 0; r < members.size(); ++r) {
         const std::size_t i = members[r];
-        ovt_index[i] =
-            ShardedOvtStore::best_in_slot(scores, r, store_.slot(batch[i].user_id));
+        ovt_index[i] = ShardedOvtStore::best_in_slot(scores, r, store_.slot(batch[i].user_id));
       }
     } catch (...) {
       for (const std::size_t i : members)
         if (!failed[i]) fail(i);
     }
   }
+  const double retrieve_ms = lap();
 
-  // Resolve prompts through the cache and finish each request.
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  // ---- Stage 3: decoded-prompt fetch through the cache (single-flight).
+  std::vector<std::shared_ptr<const Matrix>> prompts(B);
+  std::vector<char> cache_hit(B, 0);
+  for (std::size_t i = 0; i < B; ++i) {
+    if (failed[i]) continue;
+    try {
+      bool hit = false;
+      prompts[i] = prompt_locked_fetch(batch[i].user_id, ovt_index[i], &hit, &ws.encode.autoencoder);
+      cache_hit[i] = hit ? 1 : 0;
+    } catch (...) {
+      fail(i);
+    }
+  }
+  const double decode_ms = lap();
+
+  // ---- Stage 4: optional classification (deduplicated within the batch),
+  // then finish every surviving request.
+  const bool classify =
+      cfg_.run_inference && task_->config().kind == data::TaskKind::Classification;
+  std::vector<std::size_t> labels(B, 0);
+  std::vector<char> labelled(B, 0);
+  for (std::size_t i = 0; i < B; ++i) {
     if (failed[i]) continue;
     Pending& p = batch[i];
     try {
       Response resp;
       resp.user_id = p.user_id;
       resp.ovt_index = ovt_index[i];
-      std::shared_ptr<const Matrix> prompt_mat =
-          prompt_locked_fetch(p.user_id, ovt_index[i], &resp.cache_hit);
-      if (cfg_.run_inference && task_->config().kind == data::TaskKind::Classification) {
-        resp.label = model_->classify(p.query.input, task_->label_ids(), prompt_mat.get());
+      resp.cache_hit = cache_hit[i] != 0;
+      if (classify) {
+        // Identical (user, OVT, input) requests earlier in the batch already
+        // ran this exact forward — reuse their label. The O(B²) rescan is
+        // bounded by max_batch and short-circuits on the integer fields, so
+        // the token-vector compare only runs for probable duplicates.
+        for (std::size_t j = 0; j < i && !labelled[i]; ++j) {
+          if (labelled[j] && batch[j].user_id == p.user_id && ovt_index[j] == ovt_index[i] &&
+              batch[j].query.input == p.query.input) {
+            labels[i] = labels[j];
+            labelled[i] = 1;
+          }
+        }
+        if (!labelled[i]) {
+          labels[i] = model_->classify(p.query.input, task_->label_ids(), prompts[i].get());
+          labelled[i] = 1;
+        }
+        resp.label = labels[i];
         resp.has_label = true;
       }
-      resp.latency_ms = std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - p.enqueued)
-                            .count();
+      resp.latency_ms = ms_between(p.enqueued, std::chrono::steady_clock::now());
       stats_.record_request(resp.latency_ms, resp.cache_hit);
       p.promise.set_value(std::move(resp));
     } catch (...) {
       fail(i);
     }
   }
+  const double classify_ms = lap();
+
+  stats_.record_stage_times(encode_ms, retrieve_ms, decode_ms, classify_ms);
 }
 
-std::shared_ptr<const Matrix> ServingEngine::prompt_locked_fetch(std::size_t user_id,
-                                                                 std::size_t ovt_index,
-                                                                 bool* was_hit) {
+std::shared_ptr<const Matrix> ServingEngine::prompt_locked_fetch(
+    std::size_t user_id, std::size_t ovt_index, bool* was_hit,
+    compress::Autoencoder::Scratch* scratch) {
   const std::pair<std::size_t, std::size_t> key{user_id, ovt_index};
+  std::shared_ptr<InFlightDecode> flight;
+  bool leader = false;
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     if (auto hit = cache_.get(key)) {
       if (was_hit != nullptr) *was_hit = true;
       return *hit;
     }
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      flight = it->second;
+    } else {
+      flight = std::make_shared<InFlightDecode>();
+      inflight_.emplace(key, flight);
+      leader = true;
+    }
   }
-  // Decode outside the cache lock: the autoencoder decode is the expensive
-  // step the cache exists to amortize, and it is const/thread-safe.
-  auto decoded = std::make_shared<const Matrix>(
-      deployments_.at(user_id).decode_prompt(ovt_index));
+
+  if (!leader) {
+    // Single-flight: another worker is already decoding this key — wait for
+    // its result instead of duplicating the expensive decode.
+    ++coalesced_fetches_;
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&flight] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    if (was_hit != nullptr) *was_hit = true;  // shared the leader's decode
+    return flight->value;
+  }
+
+  // Leader: decode outside every lock — the autoencoder decode is the
+  // expensive step the cache exists to amortize, and it is const/thread-safe.
+  std::shared_ptr<const Matrix> decoded;
+  std::exception_ptr error;
+  try {
+    auto owned = std::make_shared<Matrix>();
+    deployments_.at(user_id).decode_prompt_into(ovt_index, *owned, scratch);
+    decoded = std::move(owned);
+    ++prompt_decodes_;
+  } catch (...) {
+    error = std::current_exception();
+  }
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
-    cache_.put(key, decoded);
+    if (!error) {
+      try {
+        cache_.put(key, decoded);
+      } catch (...) {
+        // A failed cache insert must not wedge the key: the flight below is
+        // still completed and the decoded value delivered, just not cached.
+      }
+    }
+    inflight_.erase(key);
   }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->value = decoded;
+    flight->error = error;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  if (error) std::rethrow_exception(error);
   if (was_hit != nullptr) *was_hit = false;
   return decoded;
 }
@@ -206,7 +358,7 @@ std::shared_ptr<const Matrix> ServingEngine::prompt(std::size_t user_id, std::si
   NVCIM_CHECK_MSG(deployments_.count(user_id) > 0, "unknown user " << user_id);
   NVCIM_CHECK_MSG(ovt_index < deployments_.at(user_id).n_ovts(),
                   "OVT " << ovt_index << " out of range for user " << user_id);
-  return prompt_locked_fetch(user_id, ovt_index, nullptr);
+  return prompt_locked_fetch(user_id, ovt_index, nullptr, nullptr);
 }
 
 std::size_t ServingEngine::retrieve_serial(std::size_t user_id, const data::Sample& query) {

@@ -71,6 +71,12 @@ class Matrix {
   // ---- Shape ----
   Matrix transposed() const;
   Matrix reshaped(std::size_t rows, std::size_t cols) const;
+  /// Reinterpret the existing storage as rows×cols (element count preserved).
+  Matrix& reshape_inplace(std::size_t rows, std::size_t cols);
+  /// Resize storage to rows×cols. Contents are unspecified afterwards; meant
+  /// for reusable output/scratch buffers (no reallocation when the element
+  /// count shrinks or stays put).
+  void resize(std::size_t rows, std::size_t cols);
   /// Rows [begin, end) as a new matrix.
   Matrix row_slice(std::size_t begin, std::size_t end) const;
   /// Columns [begin, end) as a new matrix.
@@ -104,8 +110,13 @@ Matrix operator*(Matrix a, float s);
 Matrix operator*(float s, Matrix a);
 Matrix hadamard(Matrix a, const Matrix& b);
 
-/// C = A·B. Shapes checked.
+/// C = A·B. Shapes checked. Blocked over (rows, shared dim) so the B panel
+/// stays cache-resident on tall batched inputs; per-element accumulation
+/// order is unchanged, so results are bit-identical to the naive kernel.
 Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A·B written into caller storage — no allocation when `out` already
+/// has the right element count. Bit-identical to matmul().
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out);
 /// C = Aᵀ·B without materializing the transpose.
 Matrix matmul_tn(const Matrix& a, const Matrix& b);
 /// C = A·Bᵀ without materializing the transpose.
@@ -135,6 +146,17 @@ Matrix average_pool_rows(const Matrix& x, std::size_t scale);
 /// blocks (n_rows < rows) or nearest-row repetition (n_rows > rows). Used to
 /// put variable-length query embeddings into the fixed virtual-token shape.
 Matrix resample_rows(const Matrix& x, std::size_t n_rows);
+
+/// Stack the rows of several same-width matrices into one tall matrix.
+Matrix stack_rows(const std::vector<const Matrix*>& parts);
+/// stack_rows() into caller storage — allocation-free once `out` is warm.
+void stack_rows_into(const std::vector<const Matrix*>& parts, Matrix& out);
+
+/// Batched resample_rows: resample each xs[b] (variable rows, shared cols)
+/// to `n_rows` rows and stack the results into a (B·n_rows)×cols matrix
+/// written into `out`. Block b is bit-identical to resample_rows(*xs[b],
+/// n_rows); no per-item temporaries are allocated.
+void resample_rows_batch(const std::vector<const Matrix*>& xs, std::size_t n_rows, Matrix& out);
 
 bool allclose(const Matrix& a, const Matrix& b, float atol = 1e-5f, float rtol = 1e-5f);
 

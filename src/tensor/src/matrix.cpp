@@ -87,6 +87,20 @@ Matrix Matrix::reshaped(std::size_t rows, std::size_t cols) const {
   return m;
 }
 
+Matrix& Matrix::reshape_inplace(std::size_t rows, std::size_t cols) {
+  NVCIM_CHECK_MSG(rows * cols == size(),
+                  "reshape " << rows_ << "x" << cols_ << " -> " << rows << "x" << cols);
+  rows_ = rows;
+  cols_ = cols;
+  return *this;
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 Matrix Matrix::row_slice(std::size_t begin, std::size_t end) const {
   NVCIM_CHECK_MSG(begin <= end && end <= rows_, "row_slice [" << begin << "," << end << ")");
   Matrix m(end - begin, cols_);
@@ -152,21 +166,43 @@ Matrix operator*(Matrix a, float s) { return a *= s; }
 Matrix operator*(float s, Matrix a) { return a *= s; }
 Matrix hadamard(Matrix a, const Matrix& b) { return a.hadamard_inplace(b); }
 
-Matrix matmul(const Matrix& a, const Matrix& b) {
+namespace {
+// L1 blocking of the A·B kernel: a KC-row panel of B is reused across MC rows
+// of A before moving on. For each output element the shared dimension is
+// still traversed in ascending order, so the accumulated float is the same
+// bit pattern the unblocked kernel produced.
+constexpr std::size_t kMatmulBlockRows = 32;  // MC: A rows per panel pass
+constexpr std::size_t kMatmulBlockK = 128;    // KC: B rows kept hot in L1
+}  // namespace
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
   NVCIM_CHECK_MSG(a.cols() == b.rows(), "matmul " << a.rows() << "x" << a.cols() << " · "
                                                   << b.rows() << "x" << b.cols());
-  Matrix c(a.rows(), b.cols(), 0.0f);
+  NVCIM_CHECK_MSG(&out != &a && &out != &b, "matmul_into output must not alias an input");
+  out.resize(a.rows(), b.cols());
+  out.fill(0.0f);
   const std::size_t M = a.rows(), K = a.cols(), N = b.cols();
-  for (std::size_t i = 0; i < M; ++i) {
-    float* crow = c.data() + i * N;
-    const float* arow = a.data() + i * K;
-    for (std::size_t k = 0; k < K; ++k) {
-      const float av = arow[k];
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + k * N;
-      for (std::size_t j = 0; j < N; ++j) crow[j] += av * brow[j];
+  for (std::size_t i0 = 0; i0 < M; i0 += kMatmulBlockRows) {
+    const std::size_t i1 = std::min(i0 + kMatmulBlockRows, M);
+    for (std::size_t k0 = 0; k0 < K; k0 += kMatmulBlockK) {
+      const std::size_t k1 = std::min(k0 + kMatmulBlockK, K);
+      for (std::size_t i = i0; i < i1; ++i) {
+        float* crow = out.data() + i * N;
+        const float* arow = a.data() + i * K;
+        for (std::size_t k = k0; k < k1; ++k) {
+          const float av = arow[k];
+          if (av == 0.0f) continue;
+          const float* brow = b.data() + k * N;
+          for (std::size_t j = 0; j < N; ++j) crow[j] += av * brow[j];
+        }
+      }
     }
   }
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_into(a, b, c);
   return c;
 }
 
@@ -272,21 +308,75 @@ Matrix average_pool_rows(const Matrix& x, std::size_t scale) {
   return p;
 }
 
-Matrix resample_rows(const Matrix& x, std::size_t n_rows) {
-  NVCIM_CHECK(n_rows >= 1 && x.rows() >= 1);
-  if (n_rows == x.rows()) return x;
-  Matrix out(n_rows, x.cols(), 0.0f);
+namespace {
+
+// Shared kernel of resample_rows / resample_rows_batch — one implementation
+// so the serial and batched paths cannot drift apart. Writes the resampled
+// n_rows×cols result into `block`.
+void resample_rows_into_block(const Matrix& x, std::size_t n_rows, float* block) {
+  const std::size_t cols = x.cols();
+  if (x.rows() == n_rows) {
+    std::copy(x.data(), x.data() + x.size(), block);
+    return;
+  }
   for (std::size_t i = 0; i < n_rows; ++i) {
     // Row block [begin, end) of the source mapped to output row i.
     const std::size_t begin = i * x.rows() / n_rows;
     std::size_t end = (i + 1) * x.rows() / n_rows;
     if (end <= begin) end = begin + 1;
-    for (std::size_t r = begin; r < end; ++r)
-      for (std::size_t c = 0; c < x.cols(); ++c) out(i, c) += x(r, c);
+    float* orow = block + i * cols;
+    std::fill(orow, orow + cols, 0.0f);
+    for (std::size_t r = begin; r < end; ++r) {
+      const float* xrow = x.data() + r * cols;
+      for (std::size_t c = 0; c < cols; ++c) orow[c] += xrow[c];
+    }
     const float inv = 1.0f / static_cast<float>(end - begin);
-    for (std::size_t c = 0; c < x.cols(); ++c) out(i, c) *= inv;
+    for (std::size_t c = 0; c < cols; ++c) orow[c] *= inv;
   }
+}
+
+}  // namespace
+
+Matrix resample_rows(const Matrix& x, std::size_t n_rows) {
+  NVCIM_CHECK(n_rows >= 1 && x.rows() >= 1);
+  if (n_rows == x.rows()) return x;
+  Matrix out(n_rows, x.cols());
+  resample_rows_into_block(x, n_rows, out.data());
   return out;
+}
+
+void stack_rows_into(const std::vector<const Matrix*>& parts, Matrix& out) {
+  NVCIM_CHECK_MSG(!parts.empty(), "stack_rows of nothing");
+  const std::size_t cols = parts[0]->cols();
+  std::size_t total = 0;
+  for (const Matrix* m : parts) {
+    NVCIM_CHECK_MSG(m != nullptr && m->cols() == cols, "stack_rows column mismatch");
+    total += m->rows();
+  }
+  out.resize(total, cols);
+  float* dst = out.data();
+  for (const Matrix* m : parts) {
+    std::copy(m->data(), m->data() + m->size(), dst);
+    dst += m->size();
+  }
+}
+
+Matrix stack_rows(const std::vector<const Matrix*>& parts) {
+  Matrix out;
+  stack_rows_into(parts, out);
+  return out;
+}
+
+void resample_rows_batch(const std::vector<const Matrix*>& xs, std::size_t n_rows, Matrix& out) {
+  NVCIM_CHECK_MSG(!xs.empty(), "resample_rows_batch of nothing");
+  NVCIM_CHECK(n_rows >= 1);
+  const std::size_t cols = xs[0]->cols();
+  for (const Matrix* x : xs)
+    NVCIM_CHECK_MSG(x != nullptr && x->cols() == cols && x->rows() >= 1,
+                    "resample_rows_batch item shape mismatch");
+  out.resize(xs.size() * n_rows, cols);
+  for (std::size_t b = 0; b < xs.size(); ++b)
+    resample_rows_into_block(*xs[b], n_rows, out.data() + b * n_rows * cols);
 }
 
 bool allclose(const Matrix& a, const Matrix& b, float atol, float rtol) {

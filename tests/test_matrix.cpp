@@ -187,6 +187,89 @@ TEST(Matrix, ResampleRowsIdentity) {
   EXPECT_TRUE(allclose(resample_rows(x, 5), x));
 }
 
+TEST(Matrix, BlockedMatmulMatchesNaiveReferenceBitForBit) {
+  // The production matmul is blocked over (rows, shared dim); per-element
+  // accumulation order must be unchanged, so results are bit-identical to
+  // the textbook triple loop. Shapes straddle the block sizes (32, 128).
+  Rng rng(31);
+  const std::size_t shapes[][3] = {{1, 1, 1},   {3, 5, 4},    {32, 128, 8},
+                                   {33, 129, 7}, {70, 300, 5}, {2, 257, 3}};
+  for (const auto& s : shapes) {
+    const std::size_t M = s[0], K = s[1], N = s[2];
+    const Matrix a = Matrix::randn(M, K, rng);
+    const Matrix b = Matrix::randn(K, N, rng);
+    Matrix ref(M, N, 0.0f);
+    for (std::size_t i = 0; i < M; ++i)
+      for (std::size_t k = 0; k < K; ++k) {
+        const float av = a(i, k);
+        if (av == 0.0f) continue;
+        for (std::size_t j = 0; j < N; ++j) ref(i, j) += av * b(k, j);
+      }
+    const Matrix c = matmul(a, b);
+    ASSERT_TRUE(c.same_shape(ref));
+    for (std::size_t i = 0; i < c.size(); ++i)
+      ASSERT_EQ(c.at_flat(i), ref.at_flat(i)) << M << "x" << K << "x" << N << " flat " << i;
+  }
+}
+
+TEST(Matrix, MatmulIntoReusesStorage) {
+  Rng rng(32);
+  const Matrix a = Matrix::randn(6, 9, rng);
+  const Matrix b = Matrix::randn(9, 4, rng);
+  Matrix out(6, 4, 123.0f);  // pre-sized garbage; must be fully overwritten
+  const float* before = out.data();
+  matmul_into(a, b, out);
+  EXPECT_EQ(out.data(), before);  // no reallocation when the size fits
+  const Matrix ref = matmul(a, b);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out.at_flat(i), ref.at_flat(i));
+}
+
+TEST(Matrix, StackRowsConcatenatesInOrder) {
+  Rng rng(33);
+  const Matrix a = Matrix::randn(2, 3, rng);
+  const Matrix b = Matrix::randn(1, 3, rng);
+  const Matrix c = Matrix::randn(4, 3, rng);
+  const Matrix s = stack_rows({&a, &b, &c});
+  ASSERT_EQ(s.rows(), 7u);
+  ASSERT_EQ(s.cols(), 3u);
+  const Matrix ref = vconcat(vconcat(a, b), c);
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_EQ(s.at_flat(i), ref.at_flat(i));
+}
+
+TEST(Matrix, ResampleRowsBatchMatchesSerialBitForBit) {
+  Rng rng(34);
+  for (std::size_t n_rows : {1u, 2u, 4u, 7u}) {
+    std::vector<Matrix> items;
+    for (std::size_t r : {1u, 2u, 4u, 5u, 13u, 17u}) items.push_back(Matrix::randn(r, 6, rng));
+    std::vector<const Matrix*> ptrs;
+    for (const Matrix& m : items) ptrs.push_back(&m);
+    Matrix batched;
+    resample_rows_batch(ptrs, n_rows, batched);
+    ASSERT_EQ(batched.rows(), items.size() * n_rows);
+    for (std::size_t b = 0; b < items.size(); ++b) {
+      const Matrix serial = resample_rows(items[b], n_rows);
+      for (std::size_t i = 0; i < serial.rows(); ++i)
+        for (std::size_t c = 0; c < serial.cols(); ++c)
+          ASSERT_EQ(batched(b * n_rows + i, c), serial(i, c))
+              << "item " << b << " n_rows " << n_rows << " (" << i << "," << c << ")";
+    }
+  }
+}
+
+TEST(Matrix, ReshapeInplaceAndResize) {
+  Matrix m(2, 6, 1.0f);
+  const float* data = m.data();
+  m.reshape_inplace(4, 3);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.data(), data);  // no copy
+  EXPECT_THROW(m.reshape_inplace(5, 3), Error);
+  m.resize(1, 3);
+  EXPECT_EQ(m.size(), 3u);
+  m.resize(10, 10);
+  EXPECT_EQ(m.size(), 100u);
+}
+
 TEST(Matrix, AllFinite) {
   Matrix m(2, 2, 1.0f);
   EXPECT_TRUE(m.all_finite());
