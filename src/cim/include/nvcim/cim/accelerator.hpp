@@ -30,6 +30,19 @@ class Accelerator {
   /// query(x.row(b)) bit-for-bit; the win is wall-clock, not semantics.
   Matrix query_batch(const Matrix& x);
 
+  /// Reusable buffers for query_batch_into(): the column slice of the query
+  /// block fed to one row tile, and one tile's partial result. Warm scratch
+  /// makes the batched query path allocation-free.
+  struct BatchScratch {
+    Matrix xs;
+    Matrix part;
+  };
+
+  /// query_batch() written into caller storage with caller scratch —
+  /// bit-identical results, zero steady-state allocations. `y` is resized to
+  /// B×n_keys.
+  void query_batch_into(const Matrix& x, Matrix& y, BatchScratch& scratch);
+
   /// Noise-free reference result for diagnostics.
   Matrix query_ideal(const Matrix& x) const;
 

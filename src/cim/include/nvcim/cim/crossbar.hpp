@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -19,6 +20,18 @@ struct CrossbarConfig {
   std::size_t adc_bits = 8;     ///< 0 = ideal (no ADC quantization)
   bool differential = true;     ///< signed values as G+ − G− cell pairs
 
+  /// Opt-in fast path: the fused MVM kernel accumulates in float32 instead
+  /// of float64. Roughly halves the accumulator bandwidth (and doubles SIMD
+  /// lane count) at the cost of exactness — results are validated against
+  /// the exact path within tolerance, not bit-identical.
+  bool fast_accumulate = false;
+
+  /// Run the legacy two-plane kernel (the pre-fusion implementation) on
+  /// plane-separated storage. Kept for bit-identity property tests and as an
+  /// in-situ perf baseline for benches; costs one extra copy of the cell
+  /// planes, so leave it off in production configs.
+  bool reference_kernel = false;
+
   std::size_t levels() const { return 1ull << bits_per_cell; }
   std::size_t n_slices() const {
     const std::size_t magnitude_bits = value_bits - (differential ? 1 : 0);
@@ -36,6 +49,10 @@ struct ProgramOptions {
 };
 
 /// Counters accumulated across operations, consumed by the PerfModel.
+/// They track the *logical* operation schedule: slice planes whose cells are
+/// exactly zero are elided by the simulator (their contribution is exactly
+/// zero), but the counters still advance as if the plane had been activated,
+/// so cost accounting is independent of which simulation shortcuts fire.
 struct OpCounters {
   std::size_t subarray_activations = 0;  ///< one slice-plane MVM each
   std::size_t adc_conversions = 0;
@@ -55,6 +72,12 @@ struct OpCounters {
 /// differential multi-level cells. Programming draws the per-cell conductance
 /// noise once (spatial variation persists across reads); the analog MVM then
 /// reads those noisy conductances, with per-slice ADC quantization.
+///
+/// Storage is interleaved per slice: each row holds [G+ G−] pairs
+/// contiguously ([G+] only without differential pairs), so the fused MVM
+/// kernel streams one unit-stride array per slice and feeds both polarities'
+/// accumulators in a single pass. Per-slice shift factors (2^(s·bits)) and
+/// all-zero-slice flags are precomputed at program time.
 class Crossbar {
  public:
   explicit Crossbar(CrossbarConfig cfg = {}) : cfg_(cfg) {}
@@ -71,12 +94,16 @@ class Crossbar {
   Matrix matvec(const Matrix& x);
 
   /// Batched y = x · W with identical semantics (and bit-identical results:
-  /// the per-column accumulation order over rows is preserved) but a
-  /// cache-friendly kernel — per slice plane the input rows stream across
-  /// contiguous plane rows into per-column accumulators, so one pass serves
-  /// all B queries of a serving batch. Counters advance exactly as B calls
-  /// to matvec would.
+  /// the per-accumulator addition order over rows is preserved) but a fused
+  /// cache-friendly kernel — per slice plane, each input row streams across
+  /// the interleaved [G+ G−] cells into adjacent per-column accumulators in
+  /// one unit-stride pass, so one sweep serves both polarities of all B
+  /// queries. Counters advance exactly as B calls to matvec would.
   Matrix matvec_batch(const Matrix& x);
+
+  /// matvec_batch() written into caller storage — allocation-free once `y`
+  /// is warm. Bit-identical to matvec_batch().
+  void matvec_batch_into(const Matrix& x, Matrix& y);
 
   /// Ideal (noise-free, ADC-free) reference of the programmed content.
   const Matrix& programmed_reference() const { return reference_; }
@@ -89,20 +116,50 @@ class Crossbar {
   std::size_t active_rows() const { return active_rows_; }
   std::size_t active_cols() const { return active_cols_; }
 
+  /// Analog level of one programmed cell (slice s, row r, col c, polarity).
+  /// Diagnostic accessor used by bit-identity tests and benches.
+  float cell_level(std::size_t s, std::size_t r, std::size_t c, bool negative) const {
+    return cells_[s * slice_stride() + r * row_stride() + c * pitch() + (negative ? 1 : 0)];
+  }
+
+  /// True when every cell of slice `s` (both polarities) is exactly zero, so
+  /// the MVM elides the plane. Only fires for noise-free programming.
+  bool slice_is_zero(std::size_t s) const { return slice_zero_[s] != 0; }
+
   const OpCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
 
  private:
   double adc_quantize(double analog, double full_scale) const;
 
+  std::size_t pitch() const { return cfg_.differential ? 2 : 1; }
+  std::size_t row_stride() const { return active_cols_ * pitch(); }
+  std::size_t slice_stride() const { return active_rows_ * row_stride(); }
+
+  template <typename Acc>
+  void fused_matvec(const Matrix& x, Matrix& y);
+
+  Matrix matvec_reference(const Matrix& x);
+  Matrix matvec_batch_reference(const Matrix& x);
+
   CrossbarConfig cfg_;
-  // slice planes of analog cell levels (0..levels-1 plus noise), per polarity
+  /// Interleaved analog cell levels (0..levels-1 plus noise): slice-major,
+  /// then row-major, each row `active_cols_ × pitch()` floats.
+  std::vector<float> cells_;
+  std::vector<double> slice_shift_;        ///< 2^(s·bits_per_cell)
+  std::vector<std::uint8_t> slice_zero_;   ///< slice plane is exactly all-zero
+  /// Legacy plane-separated storage, populated only with reference_kernel.
   std::vector<Matrix> pos_planes_;
   std::vector<Matrix> neg_planes_;
   Matrix reference_;
   std::size_t active_rows_ = 0;
   std::size_t active_cols_ = 0;
   OpCounters counters_;
+  // Reusable kernel scratch (per-query ADC full scale and LSB); members so
+  // steady-state batches allocate nothing. The crossbar is externally
+  // synchronized (per-shard locks in the serving store).
+  std::vector<double> fullscale_;
+  std::vector<double> lsb_;
 };
 
 }  // namespace nvcim::cim

@@ -1,5 +1,7 @@
 #include "nvcim/cim/accelerator.hpp"
 
+#include <algorithm>
+
 namespace nvcim::cim {
 
 void Accelerator::store(const Matrix& keys, Rng& rng) {
@@ -50,22 +52,39 @@ Matrix Accelerator::query(const Matrix& x) {
 }
 
 Matrix Accelerator::query_batch(const Matrix& x) {
+  Matrix y;
+  BatchScratch scratch;
+  query_batch_into(x, y, scratch);
+  return y;
+}
+
+void Accelerator::query_batch_into(const Matrix& x, Matrix& y, BatchScratch& scratch) {
   NVCIM_CHECK_MSG(!tiles_.empty(), "no keys stored");
   NVCIM_CHECK_MSG(x.rows() >= 1 && x.cols() == key_len_,
                   "queries must be Bx" << key_len_);
-  Matrix y(x.rows(), n_keys_, 0.0f);
+  y.resize(x.rows(), n_keys_);
+  y.fill(0.0f);
   for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
     const std::size_t r0 = rt * cfg_.rows;
     const std::size_t r1 = std::min(r0 + cfg_.rows, key_len_);
-    const Matrix xs = x.col_slice(r0, r1);
+    // Single row tile: feed the query block straight through, no column copy.
+    const Matrix* xs = &x;
+    if (row_tiles_ > 1) {
+      scratch.xs.resize(x.rows(), r1 - r0);
+      for (std::size_t b = 0; b < x.rows(); ++b)
+        std::copy(x.data() + b * key_len_ + r0, x.data() + b * key_len_ + r1,
+                  scratch.xs.data() + b * (r1 - r0));
+      xs = &scratch.xs;
+    }
     for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
       const std::size_t c0 = ct * cfg_.cols;
-      Matrix part = tiles_[rt * col_tiles_ + ct].matvec_batch(xs);
+      tiles_[rt * col_tiles_ + ct].matvec_batch_into(*xs, scratch.part);
+      const Matrix& part = scratch.part;
       for (std::size_t b = 0; b < part.rows(); ++b)
         for (std::size_t c = 0; c < part.cols(); ++c) y(b, c0 + c) += part(b, c);
     }
   }
-  return y * scale_;
+  y *= scale_;
 }
 
 Matrix Accelerator::query_ideal(const Matrix& x) const {

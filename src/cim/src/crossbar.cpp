@@ -23,8 +23,17 @@ void Crossbar::program(const Matrix& int_values, const nvm::VariationModel& var,
   const double denorm = static_cast<double>(cfg_.levels() - 1);
   const long vmax = qmax_for_bits(static_cast<int>(cfg_.value_bits));
 
-  pos_planes_.assign(S, Matrix(active_rows_, active_cols_, 0.0f));
-  neg_planes_.assign(S, Matrix(active_rows_, active_cols_, 0.0f));
+  cells_.assign(S * slice_stride(), 0.0f);
+  slice_shift_.resize(S);
+  for (std::size_t s = 0; s < S; ++s)
+    slice_shift_[s] = std::ldexp(1.0, static_cast<int>(s * cfg_.bits_per_cell));
+  if (cfg_.reference_kernel) {
+    pos_planes_.assign(S, Matrix(active_rows_, active_cols_, 0.0f));
+    neg_planes_.assign(S, Matrix(active_rows_, active_cols_, 0.0f));
+  } else {
+    pos_planes_.clear();
+    neg_planes_.clear();
+  }
 
   for (std::size_t r = 0; r < active_rows_; ++r) {
     for (std::size_t c = 0; c < active_cols_; ++c) {
@@ -56,9 +65,29 @@ void Crossbar::program(const Matrix& int_values, const nvm::VariationModel& var,
           counters_.write_pulses += 1;
           return nvm::program_cell(normalized, var, rng) * denorm;
         };
-        pos_planes_[s](r, c) = static_cast<float>(program_one(pn));
-        if (cfg_.differential) neg_planes_[s](r, c) = static_cast<float>(program_one(nn));
+        float* cell = cells_.data() + s * slice_stride() + r * row_stride() + c * pitch();
+        cell[0] = static_cast<float>(program_one(pn));
+        if (cfg_.differential) cell[1] = static_cast<float>(program_one(nn));
+        if (cfg_.reference_kernel) {
+          pos_planes_[s](r, c) = cell[0];
+          if (cfg_.differential) neg_planes_[s](r, c) = cell[1];
+        }
         counters_.cells_programmed += cfg_.differential ? 2 : 1;
+      }
+    }
+  }
+
+  // A slice whose every analog level is exactly zero contributes exactly
+  // zero to the MVM (the ADC maps 0 → 0), so the kernels skip it. Noise
+  // makes this fire only for noiseless programming of small-magnitude
+  // values, where the high slices stay empty.
+  slice_zero_.assign(S, 1);
+  for (std::size_t s = 0; s < S; ++s) {
+    const float* plane = cells_.data() + s * slice_stride();
+    for (std::size_t i = 0; i < slice_stride(); ++i) {
+      if (plane[i] != 0.0f) {
+        slice_zero_[s] = 0;
+        break;
       }
     }
   }
@@ -67,15 +96,19 @@ void Crossbar::program(const Matrix& int_values, const nvm::VariationModel& var,
 Matrix Crossbar::read_values() const {
   NVCIM_CHECK_MSG(active_rows_ > 0, "crossbar not programmed");
   const std::size_t S = cfg_.n_slices();
+  const std::size_t P = pitch();
   Matrix out(active_rows_, active_cols_, 0.0f);
   for (std::size_t s = 0; s < S; ++s) {
-    const double shift = std::pow(2.0, static_cast<double>(s * cfg_.bits_per_cell));
-    for (std::size_t r = 0; r < active_rows_; ++r)
+    const double shift = slice_shift_[s];
+    if (slice_zero_[s]) continue;
+    for (std::size_t r = 0; r < active_rows_; ++r) {
+      const float* row = cells_.data() + s * slice_stride() + r * row_stride();
       for (std::size_t c = 0; c < active_cols_; ++c) {
-        double v = pos_planes_[s](r, c);
-        if (cfg_.differential) v -= neg_planes_[s](r, c);
+        double v = row[c * P];
+        if (cfg_.differential) v -= row[c * P + 1];
         out(r, c) += static_cast<float>(shift * v);
       }
+    }
   }
   return out;
 }
@@ -91,13 +124,217 @@ Matrix Crossbar::matvec(const Matrix& x) {
   NVCIM_CHECK_MSG(active_rows_ > 0, "crossbar not programmed");
   NVCIM_CHECK_MSG(x.cols() == active_rows_, "input width " << x.cols() << " != programmed rows "
                                                            << active_rows_);
+  if (cfg_.reference_kernel) return matvec_reference(x);
   const std::size_t S = cfg_.n_slices();
   const double denorm = static_cast<double>(cfg_.levels() - 1);
+  const std::size_t P = pitch();
   Matrix y(x.rows(), active_cols_, 0.0f);
 
   for (std::size_t m = 0; m < x.rows(); ++m) {
     // ADC full scale: the worst-case column current given this input vector
     // (Σ|x_i| times the max cell level), per NeuroSim's input-referred model.
+    double abs_in = 0.0;
+    for (std::size_t i = 0; i < x.cols(); ++i) abs_in += std::fabs(x(m, i));
+    const double full_scale = abs_in * denorm;
+
+    for (std::size_t s = 0; s < S; ++s) {
+      const double shift = slice_shift_[s];
+      counters_.subarray_activations += P;
+      counters_.adc_conversions += P * active_cols_;
+      if (slice_zero_[s]) continue;  // contributes exactly zero
+      const float* plane = cells_.data() + s * slice_stride();
+      for (std::size_t c = 0; c < active_cols_; ++c) {
+        double acc_pos = 0.0, acc_neg = 0.0;
+        const float* cell = plane + c * P;
+        for (std::size_t r = 0; r < active_rows_; ++r, cell += row_stride()) {
+          acc_pos += static_cast<double>(x(m, r)) * cell[0];
+          if (cfg_.differential) acc_neg += static_cast<double>(x(m, r)) * cell[1];
+        }
+        const double v =
+            adc_quantize(acc_pos, full_scale) - adc_quantize(acc_neg, full_scale);
+        y(m, c) += static_cast<float>(shift * v);
+      }
+    }
+  }
+  return y;
+}
+
+/// Fused slice kernel shared by the exact (double) and FastAccumulate
+/// (float) paths, iterated slice-major with register/L1 blocking: each
+/// slice's interleaved [G+ G−] plane is swept once per query tile (the
+/// legacy kernel re-streamed all S planes per query), feeding a resident
+/// kTile×kBlk accumulator block, then one ADC/shift pass with a hoisted
+/// per-query LSB folds the block into the output rows. Bit-identity with
+/// the legacy kernel holds because (a) every accumulator element still sums
+/// rows r = 0..R-1 in ascending order starting from zero, and (b) each
+/// output element still receives its per-slice contributions in ascending
+/// slice order — only the interleaving of independent (query, column)
+/// partial sums changed.
+template <typename Acc>
+void Crossbar::fused_matvec(const Matrix& x, Matrix& y) {
+  const std::size_t S = cfg_.n_slices();
+  const std::size_t B = x.rows();
+  const double denorm = static_cast<double>(cfg_.levels() - 1);
+  const std::size_t P = pitch();
+  const std::size_t lane = row_stride();
+
+  // ADC full scale per query row: the worst-case column current given that
+  // input vector (Σ|x_i| times the max cell level), per NeuroSim's
+  // input-referred model. The LSB (full_scale / n_codes) is hoisted here —
+  // identical operands to the per-element adc_quantize() computation.
+  fullscale_.resize(B);
+  lsb_.resize(B);
+  const bool adc_on = cfg_.adc_bits != 0;
+  const double n_codes = static_cast<double>((1ull << cfg_.adc_bits) - 1);
+  for (std::size_t m = 0; m < B; ++m) {
+    const float* xrow = x.data() + m * x.cols();
+    double abs_in = 0.0;
+    for (std::size_t i = 0; i < x.cols(); ++i) abs_in += std::fabs(xrow[i]);
+    fullscale_[m] = abs_in * denorm;
+    lsb_[m] = adc_on && fullscale_[m] > 0.0 ? fullscale_[m] / n_codes : 0.0;
+  }
+
+  counters_.subarray_activations += B * S * P;
+  counters_.adc_conversions += B * S * P * active_cols_;
+
+  // Register blocking: kTile queries × kBlk accumulator columns per pass.
+  // The four per-query blocks live in vector registers across the entire
+  // row sweep (the naive kernel re-loads and re-stores its full accumulator
+  // lane every row — that L1 traffic, not the FMAs, was the wall-clock),
+  // each plane element is loaded once per query tile and feeds all four
+  // queries' FMAs, and each pass reads a kBlk-wide column stripe of the
+  // plane exactly once. Iteration order over (query, column block) changes
+  // only WHICH element's sum is formed when; every accumulator element
+  // still sums rows r = 0..R-1 in ascending order starting from zero,
+  // exactly as the legacy kernel's std::fill + accumulate — so results are
+  // bit-identical.
+  constexpr std::size_t kTile = 4;
+  constexpr std::size_t kBlk = 32;
+  const std::size_t rows = active_rows_;
+
+  // ADC + shift fold of one query's accumulator block into its output row.
+  const auto fold = [&](std::size_t m, const Acc* bt, std::size_t k0, std::size_t kb,
+                        double shift) {
+    const double lsb = lsb_[m];
+    const auto quantize = [lsb](double analog) {
+      return lsb > 0.0 ? std::round(analog / lsb) * lsb : analog;
+    };
+    float* yrow = y.data() + m * active_cols_;
+    if (cfg_.differential) {
+      for (std::size_t j = 0; j < kb; j += 2) {
+        const double v = quantize(static_cast<double>(bt[j])) -
+                         quantize(static_cast<double>(bt[j + 1]));
+        yrow[(k0 + j) / 2] += static_cast<float>(shift * v);
+      }
+    } else {
+      for (std::size_t j = 0; j < kb; ++j)
+        yrow[k0 + j] += static_cast<float>(shift * quantize(static_cast<double>(bt[j])));
+    }
+  };
+
+  for (std::size_t s = 0; s < S; ++s) {
+    if (slice_zero_[s]) continue;  // contributes exactly zero
+    const double shift = slice_shift_[s];
+    const float* plane = cells_.data() + s * slice_stride();
+    std::size_t m0 = 0;
+    for (; m0 + kTile <= B; m0 += kTile) {
+      const float* x0 = x.data() + (m0 + 0) * x.cols();
+      const float* x1 = x.data() + (m0 + 1) * x.cols();
+      const float* x2 = x.data() + (m0 + 2) * x.cols();
+      const float* x3 = x.data() + (m0 + 3) * x.cols();
+      std::size_t k0 = 0;
+      for (; k0 + kBlk <= lane; k0 += kBlk) {
+        Acc b0[kBlk] = {}, b1[kBlk] = {}, b2[kBlk] = {}, b3[kBlk] = {};
+        const float* col = plane + k0;
+        for (std::size_t r = 0; r < rows; ++r, col += lane) {
+          const Acc v0 = static_cast<Acc>(x0[r]), v1 = static_cast<Acc>(x1[r]);
+          const Acc v2 = static_cast<Acc>(x2[r]), v3 = static_cast<Acc>(x3[r]);
+          for (std::size_t j = 0; j < kBlk; ++j) {
+            const Acc p = static_cast<Acc>(col[j]);
+            b0[j] += v0 * p;
+            b1[j] += v1 * p;
+            b2[j] += v2 * p;
+            b3[j] += v3 * p;
+          }
+        }
+        fold(m0 + 0, b0, k0, kBlk, shift);
+        fold(m0 + 1, b1, k0, kBlk, shift);
+        fold(m0 + 2, b2, k0, kBlk, shift);
+        fold(m0 + 3, b3, k0, kBlk, shift);
+      }
+      if (k0 < lane) {  // column remainder, full query tile
+        const std::size_t kb = lane - k0;
+        Acc b0[kBlk] = {}, b1[kBlk] = {}, b2[kBlk] = {}, b3[kBlk] = {};
+        const float* col = plane + k0;
+        for (std::size_t r = 0; r < rows; ++r, col += lane) {
+          const Acc v0 = static_cast<Acc>(x0[r]), v1 = static_cast<Acc>(x1[r]);
+          const Acc v2 = static_cast<Acc>(x2[r]), v3 = static_cast<Acc>(x3[r]);
+          for (std::size_t j = 0; j < kb; ++j) {
+            const Acc p = static_cast<Acc>(col[j]);
+            b0[j] += v0 * p;
+            b1[j] += v1 * p;
+            b2[j] += v2 * p;
+            b3[j] += v3 * p;
+          }
+        }
+        fold(m0 + 0, b0, k0, kb, shift);
+        fold(m0 + 1, b1, k0, kb, shift);
+        fold(m0 + 2, b2, k0, kb, shift);
+        fold(m0 + 3, b3, k0, kb, shift);
+      }
+    }
+    for (; m0 < B; ++m0) {  // query remainder, one query at a time
+      const float* xq = x.data() + m0 * x.cols();
+      for (std::size_t k0 = 0; k0 < lane; k0 += kBlk) {
+        const std::size_t kb = std::min(kBlk, lane - k0);
+        Acc b0[kBlk] = {};
+        const float* col = plane + k0;
+        for (std::size_t r = 0; r < rows; ++r, col += lane) {
+          const Acc v0 = static_cast<Acc>(xq[r]);
+          for (std::size_t j = 0; j < kb; ++j) b0[j] += v0 * static_cast<Acc>(col[j]);
+        }
+        fold(m0, b0, k0, kb, shift);
+      }
+    }
+  }
+}
+
+void Crossbar::matvec_batch_into(const Matrix& x, Matrix& y) {
+  NVCIM_CHECK_MSG(active_rows_ > 0, "crossbar not programmed");
+  NVCIM_CHECK_MSG(x.cols() == active_rows_, "input width " << x.cols() << " != programmed rows "
+                                                           << active_rows_);
+  if (cfg_.reference_kernel) {
+    y = matvec_batch_reference(x);
+    return;
+  }
+  y.resize(x.rows(), active_cols_);
+  y.fill(0.0f);
+  if (cfg_.fast_accumulate)
+    fused_matvec<float>(x, y);
+  else
+    fused_matvec<double>(x, y);
+}
+
+Matrix Crossbar::matvec_batch(const Matrix& x) {
+  Matrix y;
+  matvec_batch_into(x, y);
+  return y;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy (pre-fusion) kernels, selected by CrossbarConfig::reference_kernel.
+// These run on the plane-separated storage exactly as before the interleaved
+// layout landed: std::pow per slice, std::fill per accumulator pass, and two
+// separate polarity loops. They exist as the comparator for bit-identity
+// property tests and as the in-situ perf baseline for benches.
+// ---------------------------------------------------------------------------
+
+Matrix Crossbar::matvec_reference(const Matrix& x) {
+  const std::size_t S = cfg_.n_slices();
+  const double denorm = static_cast<double>(cfg_.levels() - 1);
+  Matrix y(x.rows(), active_cols_, 0.0f);
+
+  for (std::size_t m = 0; m < x.rows(); ++m) {
     double abs_in = 0.0;
     for (std::size_t i = 0; i < x.cols(); ++i) abs_in += std::fabs(x(m, i));
     const double full_scale = abs_in * denorm;
@@ -121,10 +358,7 @@ Matrix Crossbar::matvec(const Matrix& x) {
   return y;
 }
 
-Matrix Crossbar::matvec_batch(const Matrix& x) {
-  NVCIM_CHECK_MSG(active_rows_ > 0, "crossbar not programmed");
-  NVCIM_CHECK_MSG(x.cols() == active_rows_, "input width " << x.cols() << " != programmed rows "
-                                                           << active_rows_);
+Matrix Crossbar::matvec_batch_reference(const Matrix& x) {
   const std::size_t S = cfg_.n_slices();
   const double denorm = static_cast<double>(cfg_.levels() - 1);
   Matrix y(x.rows(), active_cols_, 0.0f);

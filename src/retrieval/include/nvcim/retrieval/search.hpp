@@ -55,6 +55,19 @@ class CimRetriever {
   /// is scored against every stored key in one MVM pass per bank, returning
   /// B×n_keys. Row b equals scores(queries.row(b)) bit-for-bit.
   Matrix scores_batch(const Matrix& queries);
+
+  /// Reusable buffers for scores_batch_into(): the pooled query block for
+  /// one bank, that bank's raw scores, and the accelerator's tile scratch.
+  struct Scratch {
+    Matrix pooled;
+    Matrix bank_scores;
+    cim::Accelerator::BatchScratch acc;
+  };
+
+  /// scores_batch() written into caller storage with caller scratch —
+  /// bit-identical results, no per-batch allocations once the scratch is
+  /// warm. `out` is resized to B×n_keys.
+  void scores_batch_into(const Matrix& queries, Matrix& out, Scratch& scratch);
   /// Batched retrieve over pre-flattened query rows.
   std::vector<std::size_t> retrieve_batch(const Matrix& queries);
   /// Flatten a query list into the B×key_size layout scores_batch expects.

@@ -94,19 +94,31 @@ Matrix CimRetriever::scores(const Matrix& query) {
 }
 
 Matrix CimRetriever::scores_batch(const Matrix& queries) {
+  Matrix total;
+  Scratch scratch;
+  scores_batch_into(queries, total, scratch);
+  return total;
+}
+
+void CimRetriever::scores_batch_into(const Matrix& queries, Matrix& out, Scratch& scratch) {
   NVCIM_CHECK_MSG(!banks_.empty(), "no keys stored");
   NVCIM_CHECK_MSG(queries.cols() == key_size_, "query width " << queries.cols()
                                                               << " != key size " << key_size_);
-  Matrix total(queries.rows(), n_keys_, 0.0f);
+  out.resize(queries.rows(), n_keys_);
+  out.fill(0.0f);
   float weight_sum = 0.0f;
   for (std::size_t b = 0; b < banks_.size(); ++b) {
-    const Matrix pooled = average_pool_rows(queries, bank_scales_[b]);
-    const Matrix s = banks_[b]->query_batch(pooled);
-    total.add_scaled(s, bank_weights_[b]);
+    // Scale 1 pools to the identity — feed the query block through directly.
+    const Matrix* pooled = &queries;
+    if (bank_scales_[b] != 1) {
+      average_pool_rows_into(queries, bank_scales_[b], scratch.pooled);
+      pooled = &scratch.pooled;
+    }
+    banks_[b]->query_batch_into(*pooled, scratch.bank_scores, scratch.acc);
+    out.add_scaled(scratch.bank_scores, bank_weights_[b]);
     weight_sum += bank_weights_[b];
   }
-  total *= 1.0f / weight_sum;
-  return total;
+  out *= 1.0f / weight_sum;
 }
 
 std::vector<std::size_t> CimRetriever::retrieve_batch(const Matrix& queries) {

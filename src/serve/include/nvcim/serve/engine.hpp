@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -22,9 +23,21 @@ struct ServingConfig {
   std::size_t n_shards = 2;
   std::size_t n_threads = 2;
   std::size_t max_batch = 8;         ///< queries per crossbar MVM pass
+  /// Batch coalescing: a worker that finds fewer than `min_batch` queued
+  /// requests waits up to `batch_window_ms` for more before processing, so
+  /// bursty traffic forms full-width batches (wider MVM passes, more shards
+  /// to fan out) instead of splintering across workers. 1 = dequeue
+  /// immediately (the pre-coalescing behaviour).
+  std::size_t min_batch = 1;
+  double batch_window_ms = 2.0;
   std::size_t queue_capacity = 64;   ///< submit() blocks when the queue is full
   std::size_t cache_capacity = 32;   ///< decoded-OVT LRU entries
   bool run_inference = false;        ///< also classify with the shared backbone
+  /// Fan the retrieve stage's per-shard MVM passes out across the worker
+  /// pool when a batch spans multiple shards. Shards are independent (their
+  /// crossbars were programmed at build time), so results are bit-identical
+  /// to the serial shard loop; off = serial loop, for A/B benching.
+  bool parallel_retrieval = true;
   retrieval::Algorithm algorithm = retrieval::Algorithm::SSA;
   retrieval::ScaledSearchConfig ssa;
   cim::CrossbarConfig crossbar;
@@ -51,7 +64,11 @@ struct Response {
 ///                 through one batched encode GEMM per group (cross-user
 ///                 fusion; see TrainedDeployment::query_representation_batch)
 ///   2. retrieve — rows grouped by destination shard, one crossbar MVM pass
-///                 per shard, per-user slot masking
+///                 per shard, per-user slot masking; when a batch spans
+///                 several shards the per-shard passes are fanned out across
+///                 the worker pool (idle workers steal them, the coordinator
+///                 helps until its batch's shards are done — deterministic,
+///                 since shards are independent)
 ///   3. decode   — decoded-prompt fetch through the LRU cache with
 ///                 single-flight misses (concurrent misses on one key share
 ///                 a single decode — no thundering herd; an evicted key is
@@ -119,13 +136,21 @@ class ServingEngine {
 
   /// Per-worker reusable buffers: the encode-path scratch (embeddings,
   /// stacked rows, autoencoder hidden layer), the batch's representation
-  /// matrix and the packed per-shard query matrix, so steady-state batches
-  /// allocate (almost) nothing.
+  /// matrix, the packed per-shard query/score matrices and the retriever's
+  /// bank scratch, so steady-state batches allocate (almost) nothing. Shard
+  /// tasks executed by a worker use that worker's own state, so concurrent
+  /// shard retrievals never share buffers.
   struct WorkerState {
     core::EncodeScratch encode;
     Matrix reps;
     Matrix shard_queries;
+    Matrix shard_scores;
+    retrieval::CimRetriever::Scratch retrieve;
   };
+
+  /// A unit of stage work fanned out to the worker pool (currently one
+  /// shard's retrieval). Runs on the executing worker's own WorkerState.
+  using AuxTask = std::function<void(WorkerState&)>;
 
   /// One in-flight decode for single-flight misses: the first worker to miss
   /// on a key decodes; later missers wait on `cv` and share the result.
@@ -163,6 +188,10 @@ class ServingEngine {
   std::condition_variable queue_cv_;      ///< workers wait for work / shutdown
   std::condition_variable capacity_cv_;   ///< producers wait for queue space
   std::deque<Pending> queue_;
+  /// Stage subtasks fanned out by an in-flight batch (guarded by queue_mu_).
+  /// Workers drain these before taking new request batches — an aux task
+  /// unblocks a batch that is already holding requests.
+  std::deque<AuxTask> aux_queue_;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
   bool stopping_ = false;  ///< guarded by queue_mu_

@@ -60,6 +60,13 @@ class ShardedOvtStore {
   /// shard; the caller masks rows to each user's slot afterwards.
   Matrix shard_scores(std::size_t shard, const Matrix& queries);
 
+  /// shard_scores() written into caller storage with caller scratch —
+  /// bit-identical, allocation-free once warm. Different shards may be
+  /// queried concurrently (per-shard locking); callers running shards in
+  /// parallel must pass distinct `out`/`scratch` per concurrent call.
+  void shard_scores_into(std::size_t shard, const Matrix& queries, Matrix& out,
+                         retrieval::CimRetriever::Scratch& scratch);
+
   /// Serial reference path: best user-local OVT index for one query,
   /// through the single-query retrieval pipeline.
   std::size_t retrieve_user(std::size_t user_id, const Matrix& query);

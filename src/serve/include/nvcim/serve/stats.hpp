@@ -25,6 +25,12 @@ struct StatsSnapshot {
   double retrieve_ms = 0.0;  ///< shard-grouped crossbar retrieval
   double decode_ms = 0.0;    ///< prompt fetch (LRU / single-flight decode)
   double classify_ms = 0.0;  ///< optional backbone classification
+  /// Cumulative per-shard retrieval wall-clock (index = shard id). The sum
+  /// can exceed retrieve_ms when shards run in parallel — that overlap IS
+  /// the fan-out win.
+  std::vector<double> shard_retrieve_ms;
+  /// Batches whose retrieve stage fanned shards out across the worker pool.
+  std::size_t parallel_retrieve_fanouts = 0;
 };
 
 /// Thread-safe request/batch/latency accounting for a serving engine.
@@ -61,6 +67,19 @@ class EngineStats {
     classify_ms_ += classify_ms;
   }
 
+  /// Accumulate one shard retrieval's wall-clock (milliseconds).
+  void record_shard_time(std::size_t shard, double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shard >= shard_retrieve_ms_.size()) shard_retrieve_ms_.resize(shard + 1, 0.0);
+    shard_retrieve_ms_[shard] += ms;
+  }
+
+  /// Count one batch whose retrieve stage ran shards in parallel.
+  void record_parallel_fanout() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++parallel_retrieve_fanouts_;
+  }
+
   StatsSnapshot snapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
     StatsSnapshot s;
@@ -85,6 +104,8 @@ class EngineStats {
     s.retrieve_ms = retrieve_ms_;
     s.decode_ms = decode_ms_;
     s.classify_ms = classify_ms_;
+    s.shard_retrieve_ms = shard_retrieve_ms_;
+    s.parallel_retrieve_fanouts = parallel_retrieve_fanouts_;
     return s;
   }
 
@@ -109,6 +130,8 @@ class EngineStats {
   double retrieve_ms_ = 0.0;
   double decode_ms_ = 0.0;
   double classify_ms_ = 0.0;
+  std::vector<double> shard_retrieve_ms_;
+  std::size_t parallel_retrieve_fanouts_ = 0;
   std::vector<double> latencies_ms_;
 };
 

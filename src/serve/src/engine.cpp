@@ -103,17 +103,47 @@ Response ServingEngine::serve(std::size_t user_id, const data::Sample& query) {
 void ServingEngine::worker_loop() {
   WorkerState ws;
   for (;;) {
+    AuxTask aux;
     std::vector<Pending> batch;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return !queue_.empty() || stopping_; });
-      if (queue_.empty() && stopping_) return;  // drained
-      const std::size_t take = std::min(cfg_.max_batch, queue_.size());
-      batch.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      queue_cv_.wait(lock,
+                     [this] { return !aux_queue_.empty() || !queue_.empty() || stopping_; });
+      // Aux tasks first: they belong to a batch already in flight, and the
+      // coordinating worker is blocked until they finish.
+      if (!aux_queue_.empty()) {
+        aux = std::move(aux_queue_.front());
+        aux_queue_.pop_front();
+      } else if (!queue_.empty()) {
+        // Batch coalescing: give a thin queue a bounded window to fill up to
+        // min_batch before dequeuing, so bursts form full-width batches. An
+        // aux task arriving during the window preempts the wait.
+        if (cfg_.min_batch > 1 && queue_.size() < cfg_.min_batch && !stopping_) {
+          queue_cv_.wait_for(
+              lock, std::chrono::duration<double, std::milli>(cfg_.batch_window_ms), [this] {
+                return queue_.size() >= cfg_.min_batch || !aux_queue_.empty() || stopping_;
+              });
+          if (!aux_queue_.empty()) {
+            aux = std::move(aux_queue_.front());
+            aux_queue_.pop_front();
+          }
+        }
+        if (!aux && queue_.empty()) continue;  // another worker drained it
+        if (!aux) {
+          const std::size_t take = std::min(cfg_.max_batch, queue_.size());
+          batch.reserve(take);
+          for (std::size_t i = 0; i < take; ++i) {
+            batch.push_back(std::move(queue_.front()));
+            queue_.pop_front();
+          }
+        }
+      } else {
+        return;  // stopping and fully drained
       }
+    }
+    if (aux) {
+      aux(ws);
+      continue;
     }
     capacity_cv_.notify_all();
     process_batch(std::move(batch), ws);
@@ -199,29 +229,96 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
 
   // ---- Stage 2: shard-grouped retrieval. One batched MVM pass per shard;
   // each row is then masked to its user's slot. Shard ids are dense, so a
-  // plain vector replaces the old per-batch std::map.
+  // plain vector replaces the old per-batch std::map. When the batch spans
+  // several shards, the per-shard passes are independent (distinct crossbar
+  // banks, disjoint request rows): they are fanned out onto the worker
+  // pool's aux queue, idle workers steal them, and this worker helps drain
+  // tasks until its group completes — so results are identical to the
+  // serial shard loop, just overlapped in time.
   std::vector<std::size_t> ovt_index(B, 0);
   std::vector<std::vector<std::size_t>> by_shard(store_.n_shards());
   for (std::size_t i = 0; i < B; ++i)
     if (!failed[i]) by_shard[store_.slot(batch[i].user_id).shard].push_back(i);
-  for (std::size_t shard = 0; shard < by_shard.size(); ++shard) {
+
+  // One shard's retrieval, on the *executing* worker's scratch: pack that
+  // shard's representation rows, score them against the shard's banks, mask
+  // each row to its user's slot. A failure poisons only the shard's own
+  // requests (their indices are touched by no other task).
+  const auto retrieve_shard = [&](std::size_t shard, WorkerState& tws) {
     const std::vector<std::size_t>& members = by_shard[shard];
-    if (members.empty()) continue;
+    const Clock::time_point t0 = Clock::now();
     try {
-      Matrix& queries = ws.shard_queries;
+      Matrix& queries = tws.shard_queries;
       queries.resize(members.size(), rep_size_);
       for (std::size_t r = 0; r < members.size(); ++r)
         std::memcpy(queries.data() + r * rep_size_, reps.data() + members[r] * rep_size_,
                     rep_size_ * sizeof(float));
-      const Matrix scores = store_.shard_scores(shard, queries);
+      store_.shard_scores_into(shard, queries, tws.shard_scores, tws.retrieve);
       for (std::size_t r = 0; r < members.size(); ++r) {
         const std::size_t i = members[r];
-        ovt_index[i] = ShardedOvtStore::best_in_slot(scores, r, store_.slot(batch[i].user_id));
+        ovt_index[i] =
+            ShardedOvtStore::best_in_slot(tws.shard_scores, r, store_.slot(batch[i].user_id));
       }
     } catch (...) {
       for (const std::size_t i : members)
         if (!failed[i]) fail(i);
     }
+    stats_.record_shard_time(shard, ms_between(t0, Clock::now()));
+  };
+
+  std::vector<std::size_t> active_shards;
+  for (std::size_t shard = 0; shard < by_shard.size(); ++shard)
+    if (!by_shard[shard].empty()) active_shards.push_back(shard);
+
+  if (cfg_.parallel_retrieval && active_shards.size() > 1) {
+    stats_.record_parallel_fanout();
+    struct Group {
+      std::mutex mu;
+      std::condition_variable cv;
+      std::size_t remaining;
+    } group;
+    group.remaining = active_shards.size();
+    const auto finish_one = [&group] {
+      std::lock_guard<std::mutex> lock(group.mu);
+      if (--group.remaining == 0) group.cv.notify_all();
+    };
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      for (const std::size_t shard : active_shards)
+        aux_queue_.emplace_back([&retrieve_shard, &finish_one, shard](WorkerState& tws) {
+          retrieve_shard(shard, tws);
+          finish_one();
+        });
+    }
+    queue_cv_.notify_all();
+    // Help until this group is done: execute aux tasks (ours or another
+    // batch's) while any are queued; once every remaining task is claimed by
+    // some worker, wait for the group's completion signal. Tasks never
+    // block, so helping cannot deadlock — with one worker this degenerates
+    // to the serial loop.
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(group.mu);
+        if (group.remaining == 0) break;
+      }
+      AuxTask task;
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        if (!aux_queue_.empty()) {
+          task = std::move(aux_queue_.front());
+          aux_queue_.pop_front();
+        }
+      }
+      if (task) {
+        task(ws);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(group.mu);
+      group.cv.wait(lock, [&group] { return group.remaining == 0; });
+      break;
+    }
+  } else {
+    for (const std::size_t shard : active_shards) retrieve_shard(shard, ws);
   }
   const double retrieve_ms = lap();
 

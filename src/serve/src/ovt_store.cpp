@@ -66,12 +66,20 @@ const ShardedOvtStore::UserSlot& ShardedOvtStore::slot(std::size_t user_id) cons
 }
 
 Matrix ShardedOvtStore::shard_scores(std::size_t shard, const Matrix& queries) {
+  Matrix out;
+  retrieval::CimRetriever::Scratch scratch;
+  shard_scores_into(shard, queries, out, scratch);
+  return out;
+}
+
+void ShardedOvtStore::shard_scores_into(std::size_t shard, const Matrix& queries, Matrix& out,
+                                        retrieval::CimRetriever::Scratch& scratch) {
   NVCIM_CHECK_MSG(built_, "store not built");
   NVCIM_CHECK_MSG(shard < shards_.size(), "shard " << shard << " out of range");
   Shard& s = *shards_[shard];
   NVCIM_CHECK_MSG(s.retriever != nullptr, "shard " << shard << " holds no keys");
   std::lock_guard<std::mutex> lock(s.mu);
-  return s.retriever->scores_batch(queries);
+  s.retriever->scores_batch_into(queries, out, scratch);
 }
 
 std::size_t ShardedOvtStore::retrieve_user(std::size_t user_id, const Matrix& query) {

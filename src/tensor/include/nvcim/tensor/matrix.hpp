@@ -142,6 +142,10 @@ Matrix average_pool_flat(const Matrix& x, std::size_t scale);
 /// average_pool_flat(x.row(b), scale) bit-for-bit.
 Matrix average_pool_rows(const Matrix& x, std::size_t scale);
 
+/// average_pool_rows() into caller storage — allocation-free once `out` is
+/// warm. Bit-identical to average_pool_rows().
+void average_pool_rows_into(const Matrix& x, std::size_t scale, Matrix& out);
+
 /// Resample a matrix to exactly `n_rows` rows by averaging contiguous row
 /// blocks (n_rows < rows) or nearest-row repetition (n_rows > rows). Used to
 /// put variable-length query embeddings into the fixed virtual-token shape.

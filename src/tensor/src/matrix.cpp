@@ -290,22 +290,32 @@ Matrix average_pool_flat(const Matrix& x, std::size_t scale) {
 }
 
 Matrix average_pool_rows(const Matrix& x, std::size_t scale) {
-  NVCIM_CHECK(scale >= 1);
   if (scale == 1) return x;
+  Matrix p;
+  average_pool_rows_into(x, scale, p);
+  return p;
+}
+
+void average_pool_rows_into(const Matrix& x, std::size_t scale, Matrix& out) {
+  NVCIM_CHECK(scale >= 1);
   const std::size_t n = x.cols();
-  const std::size_t out = (n + scale - 1) / scale;
-  Matrix p(x.rows(), out);
+  const std::size_t width = (n + scale - 1) / scale;
+  out.resize(x.rows(), width);
+  if (scale == 1) {
+    std::copy(x.data(), x.data() + x.size(), out.data());
+    return;
+  }
   for (std::size_t r = 0; r < x.rows(); ++r) {
     const float* row = x.data() + r * n;
-    for (std::size_t w = 0; w < out; ++w) {
+    float* prow = out.data() + r * width;
+    for (std::size_t w = 0; w < width; ++w) {
       const std::size_t begin = w * scale;
       const std::size_t end = std::min(begin + scale, n);
       double s = 0.0;
       for (std::size_t i = begin; i < end; ++i) s += row[i];
-      p(r, w) = static_cast<float>(s / static_cast<double>(end - begin));
+      prow[w] = static_cast<float>(s / static_cast<double>(end - begin));
     }
   }
-  return p;
 }
 
 namespace {

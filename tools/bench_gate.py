@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a fresh BENCH_serve.json against the
+committed one and fail on significant regressions.
+
+Policy (chosen so the gate is meaningful across runner generations):
+
+  * Throughput and speedup leaves (keys ending in ``_rps`` or containing
+    ``speedup``) must not drop below ``committed * (1 - tolerance)``.
+    These are the numbers each PR claims; a >25% drop means the claimed
+    win evaporated.
+  * Stage timings (``*_ms`` keys inside a ``stages*`` object) are compared
+    as a *share of their scenario's stage total*, not as absolute
+    milliseconds — absolute times track raw machine speed, shares track
+    pipeline shape. A stage whose share grows by more than
+    ``share_tolerance`` (absolute, e.g. 0.25 = 25 percentage points)
+    indicates the stage regressed relative to its pipeline.
+  * All other leaves (absolute microbench ms, request counts, ...) are
+    informational only.
+
+Exit status: 0 = no regression, 1 = regression, 2 = usage/structure error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def walk(node, path=()):
+    """Yield (path, value) for every numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from walk(value, path + (key,))
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from walk(value, path + (str(i),))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        yield path, float(node)
+
+
+def lookup(node, path):
+    for key in path:
+        if isinstance(node, list):
+            idx = int(key)
+            if idx >= len(node):
+                return None
+            node = node[idx]
+        elif isinstance(node, dict):
+            if key not in node:
+                return None
+            node = node[key]
+        else:
+            return None
+    return node if isinstance(node, (int, float)) and not isinstance(node, bool) else None
+
+
+def stage_share(doc, path):
+    """Share of this ``_ms`` leaf within its parent stages object, or None."""
+    parent = doc
+    for key in path[:-1]:
+        parent = parent[int(key)] if isinstance(parent, list) else parent[key]
+    if not isinstance(parent, dict):
+        return None
+    siblings = {k: v for k, v in parent.items()
+                if k.endswith("_ms") and isinstance(v, (int, float))}
+    total = sum(siblings.values())
+    return None if total <= 0 else siblings[path[-1]] / total
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("committed", help="committed BENCH_serve.json (the baseline)")
+    ap.add_argument("fresh", help="freshly produced BENCH_serve.json")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="relative drop allowed for rps/speedup leaves (default 0.25)")
+    ap.add_argument("--share-tolerance", type=float, default=0.25,
+                    help="absolute stage-share growth allowed (default 0.25)")
+    ap.add_argument("--ratios-only", action="store_true",
+                    help="gate only hardware-portable metrics (speedup ratios and "
+                         "stage shares), skipping absolute *_rps leaves — use when "
+                         "the baseline was produced on different hardware than the "
+                         "fresh run (e.g. heterogeneous CI runners)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.committed) as f:
+            committed = json.load(f)
+        with open(args.fresh) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_gate: cannot load inputs: {e}", file=sys.stderr)
+        return 2
+
+    failures = []
+    checked = 0
+    for path, base in walk(committed):
+        key = path[-1]
+        dotted = ".".join(path)
+        value = lookup(fresh, path)
+        if value is None:
+            failures.append(f"MISSING  {dotted}: present in committed baseline, "
+                            "absent from fresh run")
+            continue
+        if key.endswith("_rps") or "speedup" in key:
+            if args.ratios_only and key.endswith("_rps"):
+                continue
+            checked += 1
+            floor = base * (1.0 - args.tolerance)
+            status = "ok" if value >= floor else "REGRESSED"
+            print(f"{status:>9}  {dotted}: {base:.2f} -> {value:.2f} "
+                  f"(floor {floor:.2f})")
+            if value < floor:
+                failures.append(f"REGRESSED  {dotted}: {base:.2f} -> {value:.2f} "
+                                f"(allowed floor {floor:.2f})")
+        elif key.endswith("_ms") and any("stages" in p for p in path):
+            base_share = stage_share(committed, path)
+            new_share = stage_share(fresh, path)
+            if base_share is None or new_share is None:
+                continue
+            checked += 1
+            ceiling = base_share + args.share_tolerance
+            status = "ok" if new_share <= ceiling else "REGRESSED"
+            print(f"{status:>9}  {dotted} share: {base_share:.1%} -> {new_share:.1%} "
+                  f"(ceiling {ceiling:.1%})")
+            if new_share > ceiling:
+                failures.append(f"REGRESSED  {dotted}: stage share {base_share:.1%} "
+                                f"-> {new_share:.1%} (ceiling {ceiling:.1%})")
+
+    if checked == 0:
+        print("bench_gate: no gated metrics found — baseline malformed?", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\nbench_gate: {len(failures)} regression(s):")
+        for f_ in failures:
+            print(f"  {f_}")
+        return 1
+    print(f"\nbench_gate: {checked} metrics within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
