@@ -41,6 +41,10 @@ struct WorkloadConfig {
   std::size_t keys_per_user = 6;
   std::size_t crossbar_rows = 96;
   std::size_t crossbar_cols = 32;
+  /// >0: each user's keys are noisy copies of this many separated
+  /// prototypes (the paper's domain-clustered OVTs) instead of i.i.d.
+  /// uniform — the structure the two-phase router exploits.
+  std::size_t key_protos = 0;
 };
 
 struct Workload {
@@ -84,9 +88,19 @@ struct Workload {
     d.autoencoder = autoencoder;
     d.n_virtual_tokens = wcfg.n_virtual_tokens;
     Rng rng(1000 + user);
-    for (std::size_t k = 0; k < wcfg.keys_per_user; ++k) {
-      d.keys.push_back(
+    std::vector<Matrix> protos;
+    for (std::size_t p = 0; p < wcfg.key_protos; ++p)
+      protos.push_back(
           Matrix::rand_uniform(wcfg.n_virtual_tokens, wcfg.code_dim, rng, -1.0f, 1.0f));
+    for (std::size_t k = 0; k < wcfg.keys_per_user; ++k) {
+      if (protos.empty()) {
+        d.keys.push_back(
+            Matrix::rand_uniform(wcfg.n_virtual_tokens, wcfg.code_dim, rng, -1.0f, 1.0f));
+      } else {
+        Matrix key = protos[k % protos.size()];
+        key += Matrix::randn(wcfg.n_virtual_tokens, wcfg.code_dim, rng, 0.08f);
+        d.keys.push_back(key);
+      }
       d.stored_codes.push_back(
           Matrix::rand_uniform(wcfg.n_virtual_tokens, wcfg.code_dim, rng, -1.0f, 1.0f));
       d.domains.push_back(k);
@@ -145,9 +159,12 @@ double best_of_two(Workload& w, const serve::ServingConfig& cfg, serve::StatsSna
 /// wave is awaited before the next, so exactly one batch is in flight. This
 /// measures per-batch (latency-path) behaviour — the regime where the
 /// retrieve stage's per-shard fan-out across idle workers shows up as
-/// wall-clock, not just as throughput under saturation. Best of two passes.
-double best_of_two_waves(Workload& w, const serve::ServingConfig& cfg, std::size_t wave,
-                         serve::StatsSnapshot* stats) {
+/// wall-clock, not just as throughput under saturation. Best of two passes
+/// (stats/rps keep the faster pass); `indices`, when non-null, collects
+/// every request's retrieved OVT index from the first pass (deterministic
+/// across passes).
+double waves_with_indices(Workload& w, const serve::ServingConfig& cfg, std::size_t wave,
+                          serve::StatsSnapshot* stats, std::vector<std::size_t>* indices) {
   double rps = 0.0;
   for (int pass = 0; pass < 2; ++pass) {
     serve::ServingEngine engine(w.model, w.task, cfg);
@@ -156,15 +173,18 @@ double best_of_two_waves(Workload& w, const serve::ServingConfig& cfg, std::size
     engine.start();
     const double t0 = now_ms();
     std::vector<std::future<serve::Response>> futures;
+    std::vector<std::size_t> got;
+    got.reserve(w.requests.size());
     for (std::size_t start = 0; start < w.requests.size(); start += wave) {
       const std::size_t stop = std::min(start + wave, w.requests.size());
       futures.clear();
       for (std::size_t i = start; i < stop; ++i)
         futures.push_back(engine.submit(w.requests[i].first, w.requests[i].second));
-      for (auto& f : futures) f.get();
+      for (auto& f : futures) got.push_back(f.get().ovt_index);
     }
     const double elapsed_ms = now_ms() - t0;
     const double pass_rps = 1000.0 * static_cast<double>(w.requests.size()) / elapsed_ms;
+    if (pass == 0 && indices != nullptr) *indices = std::move(got);
     if (pass_rps > rps) {
       rps = pass_rps;
       if (stats != nullptr) *stats = engine.stats();
@@ -172,6 +192,117 @@ double best_of_two_waves(Workload& w, const serve::ServingConfig& cfg, std::size
     engine.stop();
   }
   return rps;
+}
+
+/// Two-phase retrieval pruning sweep: a retrieval-bound, domain-clustered
+/// workload served exactly (two-phase off — the PR 3 path) and then at
+/// nprobe ∈ {all, 4, 2, 1}. Each point reports recall@1 against the exact
+/// run's indices, the retrieve-stage speedup and the pruned fraction of
+/// exact crossbar work. nprobe = all is bit-identical to the exact run by
+/// construction (recall exactly 1.0) while still skipping other tenants'
+/// key columns — the headline point is the fastest sweep entry with
+/// recall@1 ≥ 0.95.
+void bench_two_phase(FILE* json, std::size_t n_requests, std::size_t n_users) {
+  WorkloadConfig wc;
+  wc.d_model = 16;
+  wc.code_dim = 24;
+  wc.n_virtual_tokens = 4;
+  wc.ae_hidden = 32;
+  wc.keys_per_user = 48;
+  wc.crossbar_rows = 384;  // the paper's subarray geometry
+  wc.crossbar_cols = 128;
+  wc.key_protos = 6;  // domain-clustered OVT keys
+  Workload w(wc, n_users, n_requests);
+
+  const std::size_t shards = 4, threads = 4, batch = 16;
+  std::printf("\n-- two-phase retrieval sweep (48 keys/user, %zu prototypes, %zu users, "
+              "%zu requests, %zu shards, B=%zu) --\n",
+              wc.key_protos, n_users, n_requests, shards, batch);
+  std::fprintf(json,
+               "  \"two_phase\": {\"users\": %zu, \"requests\": %zu, \"shards\": %zu, "
+               "\"threads\": %zu, \"batch\": %zu,\n",
+               n_users, n_requests, shards, threads, batch);
+
+  serve::ServingConfig common = w.engine_config(shards, threads, batch);
+  common.min_batch = batch;
+  common.batch_window_ms = 50.0;
+
+  // Exact reference: the unmasked PR 3 data path.
+  serve::StatsSnapshot es;
+  std::vector<std::size_t> exact_idx;
+  const double exact_rps = waves_with_indices(w, common, batch, &es, &exact_idx);
+  std::printf("  %-12s %10.0f req/s   retrieve %8.1f ms   (recall 1.000 by definition)\n",
+              "exact", exact_rps, es.retrieve_ms);
+  std::fprintf(json, "    \"exact_rps\": %.0f, \"exact_retrieve_ms\": %.2f,\n", exact_rps,
+               es.retrieve_ms);
+
+  struct Point {
+    std::size_t nprobe;
+    double recall, retrieve_ms, speedup, pruned, rps, sampled;
+  };
+  std::vector<Point> points;
+  std::fprintf(json, "    \"sweep\": [\n");
+  for (const std::size_t nprobe : {0u, 4u, 2u, 1u}) {
+    serve::ServingConfig cfg = common;
+    cfg.two_phase.enabled = true;
+    cfg.two_phase.nprobe = nprobe;
+    // Production-default recall sampling stays on (every 16th routed pass
+    // reruns exact scoring), so timings include the telemetry the knob
+    // ships with; recall@1 below is computed exactly against the reference
+    // run's indices, not sampled.
+    serve::StatsSnapshot s;
+    std::vector<std::size_t> idx;
+    const double rps = waves_with_indices(w, cfg, batch, &s, &idx);
+    std::size_t matches = 0;
+    for (std::size_t i = 0; i < exact_idx.size(); ++i)
+      if (idx[i] == exact_idx[i]) ++matches;
+    Point p;
+    p.nprobe = nprobe;
+    p.recall = static_cast<double>(matches) / static_cast<double>(exact_idx.size());
+    p.retrieve_ms = s.retrieve_ms;
+    p.speedup = es.retrieve_ms / s.retrieve_ms;
+    p.pruned = s.pruned_fraction;
+    p.rps = rps;
+    p.sampled = s.sampled_recall_at1;
+    points.push_back(p);
+    std::printf("  nprobe=%-5s %10.0f req/s   retrieve %8.1f ms   recall@1 %.3f   "
+                "stage %.2fx   pruned %4.1f%%\n",
+                nprobe == 0 ? "all" : std::to_string(nprobe).c_str(), rps, s.retrieve_ms,
+                p.recall, p.speedup, 100.0 * p.pruned);
+    std::fprintf(json,
+                 "%s      {\"nprobe\": %zu, \"recall\": %.4f, \"retrieve_ms\": %.2f, "
+                 "\"pruned_fraction\": %.3f, \"rps\": %.0f}",
+                 points.size() == 1 ? "" : ",\n", nprobe, p.recall, p.retrieve_ms, p.pruned,
+                 rps);
+  }
+  std::fprintf(json, "\n    ],\n");
+
+  // Headline: fastest sweep point that keeps recall@1 >= 0.95 (the CI gate
+  // enforces the floor so the perf gate cannot reward silently lossy
+  // retrieval).
+  const Point* best = nullptr;
+  for (const Point& p : points)
+    if (p.recall >= 0.95 && (best == nullptr || p.speedup > best->speedup)) best = &p;
+  if (best == nullptr) best = &points.front();  // nprobe = all: recall 1.0
+  // The headline re-picks a compliant point every run, so its recall can
+  // never fall below the CI floor by construction; the *default* nprobe's
+  // recall is the falsifiable quality signal (the configuration users get
+  // out of the box) — emitted separately and floored by the gate.
+  const std::size_t default_nprobe = serve::TwoPhaseConfig{}.nprobe;
+  double default_recall = points.front().recall;
+  for (const Point& p : points)
+    if (p.nprobe == default_nprobe) default_recall = p.recall;
+  std::printf("  headline: nprobe=%s — retrieve stage %.2fx vs exact at recall@1 %.3f "
+              "(%.0f%% of exact work pruned)\n",
+              best->nprobe == 0 ? "all" : std::to_string(best->nprobe).c_str(), best->speedup,
+              best->recall, 100.0 * best->pruned);
+  std::fprintf(json,
+               "    \"best_nprobe\": %zu, \"recall_at1\": %.4f, "
+               "\"default_recall_at1\": %.4f,\n"
+               "    \"retrieve_stage_speedup_b16\": %.2f, \"rps_speedup_b16\": %.2f,\n"
+               "    \"pruned_fraction\": %.3f, \"sampled_recall\": %.4f\n  },\n",
+               best->nprobe, best->recall, default_recall, best->speedup,
+               best->rps / exact_rps, best->pruned, best->sampled);
 }
 
 double run_engine(Workload& w, std::size_t shards, std::size_t threads, std::size_t batch,
@@ -319,17 +450,17 @@ void bench_retrieval_bound(FILE* json, std::size_t n_requests, std::size_t n_use
   baseline.crossbar.reference_kernel = true;
   baseline.parallel_retrieval = false;
   serve::StatsSnapshot bs;
-  const double baseline_rps = best_of_two_waves(w, baseline, batch, &bs);
+  const double baseline_rps = waves_with_indices(w, baseline, batch, &bs, nullptr);
 
   // New path: fused kernel + parallel per-shard fan-out.
   serve::StatsSnapshot ns;
-  const double new_rps = best_of_two_waves(w, common, batch, &ns);
+  const double new_rps = waves_with_indices(w, common, batch, &ns, nullptr);
 
   // Opt-in FastAccumulate on top (approximate scores, exact-path-validated).
   serve::ServingConfig fastc = common;
   fastc.crossbar.fast_accumulate = true;
   serve::StatsSnapshot fs;
-  const double fast_rps = best_of_two_waves(w, fastc, batch, &fs);
+  const double fast_rps = waves_with_indices(w, fastc, batch, &fs, nullptr);
 
   const double retrieve_speedup = bs.retrieve_ms / ns.retrieve_ms;
   std::printf("  %-26s %10.0f req/s   retrieve %8.1f ms\n", "PR2 baseline (serial)",
@@ -446,6 +577,7 @@ int main() {
   bench_batched_vs_per_query(json);
   bench_kernel(json);
   bench_retrieval_bound(json, n_requests, n_users);
+  bench_two_phase(json, n_requests, n_users);
   bench_encode_bound(json, n_requests, n_users);
 
   Workload w(WorkloadConfig{}, n_users, n_requests);

@@ -2,8 +2,9 @@
 // each train their own OVT library on-device (representative selection +
 // prompt tuning), then hand their deployment to one shared ServingEngine:
 // a single frozen backbone, OVT retrieval keys packed into two crossbar
-// shards, worker threads answering a mixed stream of requests with batched
-// in-memory search and an LRU cache of decoded prompts.
+// shards, worker threads answering a mixed stream of requests with
+// two-phase batched in-memory search (k-means candidate routing + masked
+// exact crossbar rerank) and an LRU cache of decoded prompts.
 
 #include <cstdio>
 #include <future>
@@ -36,6 +37,14 @@ int main() {
   scfg.max_batch = 8;
   scfg.run_inference = true;  // classify with the shared frozen backbone
   scfg.variation = fcfg.variation;
+  // Two-phase retrieval: probe every cluster (nprobe = 0) — bit-identical
+  // winners, but other tenants' key columns are pruned from the crossbar
+  // pass. Lower nprobe for more pruning at a sampled-recall cost. (At this
+  // toy scale — ~5 OVTs per user, whole shards inside one 16-column
+  // accumulator block — the block-granular pruning counter reads 0%; see
+  // bench_serve's two-phase sweep for the effect at serving geometry.)
+  scfg.two_phase.enabled = true;
+  scfg.two_phase.nprobe = 0;
 
   serve::ServingEngine engine(model, task, scfg);
   std::vector<data::UserData> users;
@@ -85,8 +94,12 @@ int main() {
               s.encode_ms, 100.0 * s.encode_ms / stage_total, s.retrieve_ms,
               100.0 * s.retrieve_ms / stage_total, s.decode_ms, 100.0 * s.decode_ms / stage_total,
               s.classify_ms, 100.0 * s.classify_ms / stage_total);
-  std::printf("prompt LRU  %.0f%% hit rate (%zu hits / %zu misses)\n", 100.0 * s.cache_hit_rate,
-              s.cache_hits, s.cache_misses);
+  std::printf("prompt LRU  %.0f%% hit rate (%zu hits / %zu misses, %zu batched decode GEMMs)\n",
+              100.0 * s.cache_hit_rate, s.cache_hits, s.cache_misses, s.batched_decode_gemms);
+  if (s.candidates_possible > 0)
+    std::printf("two-phase   %zu of %zu key scores pruned (%.0f%%), sampled recall@1 %.3f\n",
+                s.candidates_possible - s.candidates_examined, s.candidates_possible,
+                100.0 * s.pruned_fraction, s.sampled_recall_at1);
   if (labelled > 0)
     std::printf("accuracy    %.1f%% over %zu classified requests\n",
                 100.0 * static_cast<double>(correct) / static_cast<double>(labelled), labelled);

@@ -31,17 +31,28 @@ class Accelerator {
   Matrix query_batch(const Matrix& x);
 
   /// Reusable buffers for query_batch_into(): the column slice of the query
-  /// block fed to one row tile, and one tile's partial result. Warm scratch
-  /// makes the batched query path allocation-free.
+  /// block fed to one row tile, one tile's partial result, and the masked
+  /// path's per-column-tile candidate flags. Warm scratch makes the batched
+  /// query path allocation-free.
   struct BatchScratch {
     Matrix xs;
     Matrix part;
+    std::vector<std::uint8_t> col_tile_needed;
   };
 
   /// query_batch() written into caller storage with caller scratch —
   /// bit-identical results, zero steady-state allocations. `y` is resized to
   /// B×n_keys.
-  void query_batch_into(const Matrix& x, Matrix& y, BatchScratch& scratch);
+  ///
+  /// With `candidates` (per-query bitmaps over the n_keys columns), only
+  /// candidate columns are scored: a column tile none of the batch's queries
+  /// needs is skipped outright, and inside a tile the crossbar kernel skips
+  /// whole accumulator blocks per query tile (see
+  /// Crossbar::matvec_batch_into). Candidate entries are bit-identical to
+  /// the unmasked pass; non-candidate entries are exact 0 or the exact
+  /// full-pass value (block-granular masking) — argmax over candidates only.
+  void query_batch_into(const Matrix& x, Matrix& y, BatchScratch& scratch,
+                        const CandidateSet* candidates = nullptr);
 
   /// Noise-free reference result for diagnostics.
   Matrix query_ideal(const Matrix& x) const;

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "nvcim/cim/candidates.hpp"
 #include "nvcim/nvm/device.hpp"
 #include "nvcim/tensor/matrix.hpp"
 
@@ -80,6 +81,12 @@ struct OpCounters {
 /// all-zero-slice flags are precomputed at program time.
 class Crossbar {
  public:
+  /// Width (in interleaved accumulator lanes) of the fused kernel's register
+  /// blocks — candidate masking prunes at this granularity, covering
+  /// kAccumulatorLanes / pitch output columns per block. Exposed so the
+  /// routing layer can account examined work the way the kernel computes it.
+  static constexpr std::size_t kAccumulatorLanes = 32;
+
   explicit Crossbar(CrossbarConfig cfg = {}) : cfg_(cfg) {}
 
   const CrossbarConfig& config() const { return cfg_; }
@@ -103,7 +110,25 @@ class Crossbar {
 
   /// matvec_batch() written into caller storage — allocation-free once `y`
   /// is warm. Bit-identical to matvec_batch().
-  void matvec_batch_into(const Matrix& x, Matrix& y);
+  ///
+  /// With `candidates`, only output columns whose candidate bit is set (for
+  /// some query of the kernel's 4-query register tile) are computed; an
+  /// entire 32-accumulator column block is skipped when no query of the tile
+  /// has a candidate in it. `col_offset` maps this subarray's columns into
+  /// the candidate set's key index space (column c here is key
+  /// `col_offset + c`). Computed entries are bit-identical to the unmasked
+  /// kernel — skipping a block never reorders another block's accumulation.
+  /// Masking is block-granular per query: a non-candidate column is exact 0
+  /// when its whole block was pruned for that query, or the exact full-pass
+  /// value when a candidate shares its block — callers must argmax over
+  /// candidates only. ADC-conversion counters advance only
+  /// for computed (query, column) pairs, so pruning is visible in the cost
+  /// model; subarray activations still follow the input-side schedule. The
+  /// legacy reference kernel ignores the mask (it exists as the full-compute
+  /// baseline).
+  void matvec_batch_into(const Matrix& x, Matrix& y,
+                         const CandidateSet* candidates = nullptr,
+                         std::size_t col_offset = 0);
 
   /// Ideal (noise-free, ADC-free) reference of the programmed content.
   const Matrix& programmed_reference() const { return reference_; }
@@ -137,7 +162,8 @@ class Crossbar {
   std::size_t slice_stride() const { return active_rows_ * row_stride(); }
 
   template <typename Acc>
-  void fused_matvec(const Matrix& x, Matrix& y);
+  void fused_matvec(const Matrix& x, Matrix& y, const CandidateSet* candidates,
+                    std::size_t col_offset);
 
   Matrix matvec_reference(const Matrix& x);
   Matrix matvec_batch_reference(const Matrix& x);
@@ -155,11 +181,13 @@ class Crossbar {
   std::size_t active_rows_ = 0;
   std::size_t active_cols_ = 0;
   OpCounters counters_;
-  // Reusable kernel scratch (per-query ADC full scale and LSB); members so
+  // Reusable kernel scratch (per-query ADC full scale and LSB, plus the
+  // per-(query, column-block) candidate flags of a masked pass); members so
   // steady-state batches allocate nothing. The crossbar is externally
   // synchronized (per-shard locks in the serving store).
   std::vector<double> fullscale_;
   std::vector<double> lsb_;
+  std::vector<std::uint8_t> block_need_;
 };
 
 }  // namespace nvcim::cim

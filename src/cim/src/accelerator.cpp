@@ -58,12 +58,29 @@ Matrix Accelerator::query_batch(const Matrix& x) {
   return y;
 }
 
-void Accelerator::query_batch_into(const Matrix& x, Matrix& y, BatchScratch& scratch) {
+void Accelerator::query_batch_into(const Matrix& x, Matrix& y, BatchScratch& scratch,
+                                   const CandidateSet* candidates) {
   NVCIM_CHECK_MSG(!tiles_.empty(), "no keys stored");
   NVCIM_CHECK_MSG(x.rows() >= 1 && x.cols() == key_len_,
                   "queries must be Bx" << key_len_);
+  if (candidates != nullptr) {
+    NVCIM_CHECK_MSG(candidates->n_queries == x.rows() && candidates->n_keys == n_keys_,
+                    "candidate set is " << candidates->n_queries << "x" << candidates->n_keys
+                                        << ", expected " << x.rows() << "x" << n_keys_);
+  }
   y.resize(x.rows(), n_keys_);
   y.fill(0.0f);
+  // Column tiles no query needs are skipped outright; the scan is
+  // independent of the row tile, so hoist it out of the grid walk.
+  if (candidates != nullptr) {
+    scratch.col_tile_needed.assign(col_tiles_, 0);
+    for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
+      const std::size_t c0 = ct * cfg_.cols;
+      const std::size_t c1 = std::min(c0 + cfg_.cols, n_keys_);
+      for (std::size_t b = 0; b < x.rows() && scratch.col_tile_needed[ct] == 0; ++b)
+        scratch.col_tile_needed[ct] = candidates->any_in_range(b, c0, c1) ? 1 : 0;
+    }
+  }
   for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
     const std::size_t r0 = rt * cfg_.rows;
     const std::size_t r1 = std::min(r0 + cfg_.rows, key_len_);
@@ -77,8 +94,9 @@ void Accelerator::query_batch_into(const Matrix& x, Matrix& y, BatchScratch& scr
       xs = &scratch.xs;
     }
     for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
+      if (candidates != nullptr && scratch.col_tile_needed[ct] == 0) continue;
       const std::size_t c0 = ct * cfg_.cols;
-      tiles_[rt * col_tiles_ + ct].matvec_batch_into(*xs, scratch.part);
+      tiles_[rt * col_tiles_ + ct].matvec_batch_into(*xs, scratch.part, candidates, c0);
       const Matrix& part = scratch.part;
       for (std::size_t b = 0; b < part.rows(); ++b)
         for (std::size_t c = 0; c < part.cols(); ++c) y(b, c0 + c) += part(b, c);

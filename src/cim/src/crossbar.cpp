@@ -171,7 +171,8 @@ Matrix Crossbar::matvec(const Matrix& x) {
 /// slice order — only the interleaving of independent (query, column)
 /// partial sums changed.
 template <typename Acc>
-void Crossbar::fused_matvec(const Matrix& x, Matrix& y) {
+void Crossbar::fused_matvec(const Matrix& x, Matrix& y, const CandidateSet* candidates,
+                            std::size_t col_offset) {
   const std::size_t S = cfg_.n_slices();
   const std::size_t B = x.rows();
   const double denorm = static_cast<double>(cfg_.levels() - 1);
@@ -194,9 +195,6 @@ void Crossbar::fused_matvec(const Matrix& x, Matrix& y) {
     lsb_[m] = adc_on && fullscale_[m] > 0.0 ? fullscale_[m] / n_codes : 0.0;
   }
 
-  counters_.subarray_activations += B * S * P;
-  counters_.adc_conversions += B * S * P * active_cols_;
-
   // Register blocking: kTile queries × kBlk accumulator columns per pass.
   // The four per-query blocks live in vector registers across the entire
   // row sweep (the naive kernel re-loads and re-stores its full accumulator
@@ -209,8 +207,39 @@ void Crossbar::fused_matvec(const Matrix& x, Matrix& y) {
   // exactly as the legacy kernel's std::fill + accumulate — so results are
   // bit-identical.
   constexpr std::size_t kTile = 4;
-  constexpr std::size_t kBlk = 32;
+  constexpr std::size_t kBlk = kAccumulatorLanes;
   const std::size_t rows = active_rows_;
+
+  // Candidate masking: one byte per (query, column block) saying whether any
+  // candidate key lands in that block's output columns. kBlk interleaved
+  // accumulators cover kBlk/P output columns, so block boundaries align with
+  // whole columns and a cleared byte skips the block's entire row sweep.
+  const std::size_t n_blocks = (lane + kBlk - 1) / kBlk;
+  const bool masked = candidates != nullptr;
+  std::size_t computed_cols = masked ? 0 : B * active_cols_;
+  if (masked) {
+    block_need_.assign(B * n_blocks, 0);
+    for (std::size_t m = 0; m < B; ++m) {
+      for (std::size_t bk = 0; bk < n_blocks; ++bk) {
+        const std::size_t c_lo = bk * kBlk / P;
+        const std::size_t c_hi = std::min(active_cols_, ((bk + 1) * kBlk + P - 1) / P);
+        if (candidates->any_in_range(m, col_offset + c_lo, col_offset + c_hi)) {
+          block_need_[m * n_blocks + bk] = 1;
+          computed_cols += c_hi - c_lo;
+        }
+      }
+    }
+  }
+  const auto need = [&](std::size_t m, std::size_t k0) {
+    return !masked || block_need_[m * n_blocks + k0 / kBlk] != 0;
+  };
+
+  // Subarray activations follow the input-side schedule (a plane activation
+  // is shared by every column of the wave); ADC conversions advance only for
+  // computed (query, column) pairs, so candidate pruning shows up in the
+  // cost model exactly where the hardware saves — column reads.
+  counters_.subarray_activations += B * S * P;
+  counters_.adc_conversions += S * P * computed_cols;
 
   // ADC + shift fold of one query's accumulator block into its output row.
   const auto fold = [&](std::size_t m, const Acc* bt, std::size_t k0, std::size_t kb,
@@ -244,6 +273,9 @@ void Crossbar::fused_matvec(const Matrix& x, Matrix& y) {
       const float* x3 = x.data() + (m0 + 3) * x.cols();
       std::size_t k0 = 0;
       for (; k0 + kBlk <= lane; k0 += kBlk) {
+        const bool n0 = need(m0 + 0, k0), n1 = need(m0 + 1, k0);
+        const bool n2 = need(m0 + 2, k0), n3 = need(m0 + 3, k0);
+        if (!(n0 || n1 || n2 || n3)) continue;  // no candidate in this block
         Acc b0[kBlk] = {}, b1[kBlk] = {}, b2[kBlk] = {}, b3[kBlk] = {};
         const float* col = plane + k0;
         for (std::size_t r = 0; r < rows; ++r, col += lane) {
@@ -257,12 +289,15 @@ void Crossbar::fused_matvec(const Matrix& x, Matrix& y) {
             b3[j] += v3 * p;
           }
         }
-        fold(m0 + 0, b0, k0, kBlk, shift);
-        fold(m0 + 1, b1, k0, kBlk, shift);
-        fold(m0 + 2, b2, k0, kBlk, shift);
-        fold(m0 + 3, b3, k0, kBlk, shift);
+        if (n0) fold(m0 + 0, b0, k0, kBlk, shift);
+        if (n1) fold(m0 + 1, b1, k0, kBlk, shift);
+        if (n2) fold(m0 + 2, b2, k0, kBlk, shift);
+        if (n3) fold(m0 + 3, b3, k0, kBlk, shift);
       }
       if (k0 < lane) {  // column remainder, full query tile
+        const bool n0 = need(m0 + 0, k0), n1 = need(m0 + 1, k0);
+        const bool n2 = need(m0 + 2, k0), n3 = need(m0 + 3, k0);
+        if (!(n0 || n1 || n2 || n3)) continue;
         const std::size_t kb = lane - k0;
         Acc b0[kBlk] = {}, b1[kBlk] = {}, b2[kBlk] = {}, b3[kBlk] = {};
         const float* col = plane + k0;
@@ -277,15 +312,16 @@ void Crossbar::fused_matvec(const Matrix& x, Matrix& y) {
             b3[j] += v3 * p;
           }
         }
-        fold(m0 + 0, b0, k0, kb, shift);
-        fold(m0 + 1, b1, k0, kb, shift);
-        fold(m0 + 2, b2, k0, kb, shift);
-        fold(m0 + 3, b3, k0, kb, shift);
+        if (n0) fold(m0 + 0, b0, k0, kb, shift);
+        if (n1) fold(m0 + 1, b1, k0, kb, shift);
+        if (n2) fold(m0 + 2, b2, k0, kb, shift);
+        if (n3) fold(m0 + 3, b3, k0, kb, shift);
       }
     }
     for (; m0 < B; ++m0) {  // query remainder, one query at a time
       const float* xq = x.data() + m0 * x.cols();
       for (std::size_t k0 = 0; k0 < lane; k0 += kBlk) {
+        if (!need(m0, k0)) continue;
         const std::size_t kb = std::min(kBlk, lane - k0);
         Acc b0[kBlk] = {};
         const float* col = plane + k0;
@@ -299,20 +335,28 @@ void Crossbar::fused_matvec(const Matrix& x, Matrix& y) {
   }
 }
 
-void Crossbar::matvec_batch_into(const Matrix& x, Matrix& y) {
+void Crossbar::matvec_batch_into(const Matrix& x, Matrix& y, const CandidateSet* candidates,
+                                 std::size_t col_offset) {
   NVCIM_CHECK_MSG(active_rows_ > 0, "crossbar not programmed");
   NVCIM_CHECK_MSG(x.cols() == active_rows_, "input width " << x.cols() << " != programmed rows "
                                                            << active_rows_);
+  if (candidates != nullptr) {
+    NVCIM_CHECK_MSG(candidates->n_queries == x.rows(),
+                    "candidate set covers " << candidates->n_queries << " queries, batch has "
+                                            << x.rows());
+    NVCIM_CHECK_MSG(col_offset + active_cols_ <= candidates->n_keys,
+                    "candidate set narrower than subarray columns");
+  }
   if (cfg_.reference_kernel) {
-    y = matvec_batch_reference(x);
+    y = matvec_batch_reference(x);  // full-compute baseline: mask ignored
     return;
   }
   y.resize(x.rows(), active_cols_);
   y.fill(0.0f);
   if (cfg_.fast_accumulate)
-    fused_matvec<float>(x, y);
+    fused_matvec<float>(x, y, candidates, col_offset);
   else
-    fused_matvec<double>(x, y);
+    fused_matvec<double>(x, y, candidates, col_offset);
 }
 
 Matrix Crossbar::matvec_batch(const Matrix& x) {

@@ -79,6 +79,17 @@ class TinyLM {
                        const KvPrefixValues* kv_prefixes = nullptr,
                        const Matrix* embed_delta = nullptr) const;
 
+  /// Batched classify(): one embed_batch() gather pass supplies every
+  /// sequence's token-embedding rows up front (skipping the per-call
+  /// vocab×d table leaf copy), then the frozen per-sequence forwards run on
+  /// a single reused tape. Entry b is bit-identical to
+  /// classify(*seqs[b], label_ids, soft_prompts[b]) — the pre-gathered rows
+  /// are exactly what the tape's embedding lookup would produce.
+  /// `soft_prompts[b]` may be nullptr for a promptless sequence.
+  std::vector<std::size_t> classify_batch(const std::vector<const std::vector<int>*>& seqs,
+                                          const std::vector<int>& label_ids,
+                                          const std::vector<const Matrix*>& soft_prompts) const;
+
   /// Autoregressive sampling with softmax temperature (0 = greedy).
   std::vector<int> generate(const std::vector<int>& prompt, std::size_t max_new_tokens,
                             float temperature, Rng& rng, int eos_id,
@@ -113,9 +124,12 @@ class TinyLM {
   nn::Linear& lm_head() { return lm_head_; }
 
  private:
+  /// `pre_embedded` supplies the token-embedding rows directly (a frozen
+  /// leaf), bypassing the table gather; it cannot combine with embed_delta.
   Var forward_hidden(nn::Binder& bind, const std::vector<int>& tokens,
                      std::optional<Var> soft_prompt, const KvPrefixVars* kv_prefixes,
-                     std::optional<Var> embed_delta, std::size_t& n_soft_out);
+                     std::optional<Var> embed_delta, std::size_t& n_soft_out,
+                     std::optional<Var> pre_embedded = std::nullopt);
 
   TinyLmConfig cfg_;
   nn::Param tok_emb_;  ///< vocab × d

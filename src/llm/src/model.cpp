@@ -46,15 +46,25 @@ nn::ParamSet TinyLM::params() {
 
 Var TinyLM::forward_hidden(nn::Binder& bind, const std::vector<int>& tokens,
                            std::optional<Var> soft_prompt, const KvPrefixVars* kv_prefixes,
-                           std::optional<Var> embed_delta, std::size_t& n_soft_out) {
+                           std::optional<Var> embed_delta, std::size_t& n_soft_out,
+                           std::optional<Var> pre_embedded) {
   autograd::Tape& t = bind.tape();
   NVCIM_CHECK_MSG(!tokens.empty(), "empty token sequence");
   if (kv_prefixes != nullptr)
     NVCIM_CHECK_MSG(kv_prefixes->size() == cfg_.n_layers, "one KV prefix per layer required");
 
-  Var table = bind(tok_emb_);
-  if (embed_delta) table = t.add(table, *embed_delta);
-  Var x = t.embedding(table, tokens);
+  Var x;
+  if (pre_embedded) {
+    NVCIM_CHECK_MSG(!embed_delta, "pre-embedded rows cannot combine with embed_delta");
+    NVCIM_CHECK_MSG(pre_embedded->value().rows() == tokens.size() &&
+                        pre_embedded->value().cols() == cfg_.d_model,
+                    "pre-embedded rows must be seq_len x d_model");
+    x = *pre_embedded;
+  } else {
+    Var table = bind(tok_emb_);
+    if (embed_delta) table = t.add(table, *embed_delta);
+    x = t.embedding(table, tokens);
+  }
 
   std::size_t n_soft = 0;
   if (soft_prompt) {
@@ -149,6 +159,45 @@ std::size_t TinyLM::classify(const std::vector<int>& tokens, const std::vector<i
     }
   }
   return best;
+}
+
+std::vector<std::size_t> TinyLM::classify_batch(
+    const std::vector<const std::vector<int>*>& seqs, const std::vector<int>& label_ids,
+    const std::vector<const Matrix*>& soft_prompts) const {
+  NVCIM_CHECK(!label_ids.empty());
+  NVCIM_CHECK_MSG(soft_prompts.size() == seqs.size(), "one soft prompt (or null) per sequence");
+  auto* self = const_cast<TinyLM*>(this);
+
+  // One gather pass over the embedding table for the whole group.
+  std::vector<Matrix> embeds;
+  embed_batch_into(seqs, embeds);
+
+  std::vector<std::size_t> out(seqs.size(), 0);
+  autograd::Tape tape;  // reused across sequences; clear() keeps its storage
+  for (std::size_t b = 0; b < seqs.size(); ++b) {
+    tape.clear();
+    nn::Binder bind(tape, /*frozen=*/true);
+    std::optional<Var> sp;
+    if (soft_prompts[b] != nullptr) sp = tape.leaf(*soft_prompts[b], false);
+    std::size_t n_soft = 0;
+    Var h = self->forward_hidden(bind, *seqs[b], sp, nullptr, std::nullopt, n_soft,
+                                 tape.leaf(embeds[b], false));
+    Var z = self->lm_head_.forward(bind, h);
+    const Matrix& zv = z.value();
+    // Logits rows span [n_soft, n_soft + seq_len); classify() reads the last.
+    const std::size_t last = n_soft + seqs[b]->size() - 1;
+    std::size_t best = 0;
+    float best_logit = -1e30f;
+    for (std::size_t i = 0; i < label_ids.size(); ++i) {
+      const float v = zv(last, static_cast<std::size_t>(label_ids[i]));
+      if (v > best_logit) {
+        best_logit = v;
+        best = i;
+      }
+    }
+    out[b] = best;
+  }
+  return out;
 }
 
 std::vector<int> TinyLM::generate(const std::vector<int>& prompt, std::size_t max_new_tokens,

@@ -101,6 +101,11 @@ Matrix CimRetriever::scores_batch(const Matrix& queries) {
 }
 
 void CimRetriever::scores_batch_into(const Matrix& queries, Matrix& out, Scratch& scratch) {
+  scores_batch_into(queries, out, scratch, nullptr);
+}
+
+void CimRetriever::scores_batch_into(const Matrix& queries, Matrix& out, Scratch& scratch,
+                                     const cim::CandidateSet* candidates) {
   NVCIM_CHECK_MSG(!banks_.empty(), "no keys stored");
   NVCIM_CHECK_MSG(queries.cols() == key_size_, "query width " << queries.cols()
                                                               << " != key size " << key_size_);
@@ -114,7 +119,7 @@ void CimRetriever::scores_batch_into(const Matrix& queries, Matrix& out, Scratch
       average_pool_rows_into(queries, bank_scales_[b], scratch.pooled);
       pooled = &scratch.pooled;
     }
-    banks_[b]->query_batch_into(*pooled, scratch.bank_scores, scratch.acc);
+    banks_[b]->query_batch_into(*pooled, scratch.bank_scores, scratch.acc, candidates);
     out.add_scaled(scratch.bank_scores, bank_weights_[b]);
     weight_sum += bank_weights_[b];
   }

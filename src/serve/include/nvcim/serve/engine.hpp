@@ -38,6 +38,14 @@ struct ServingConfig {
   /// crossbars were programmed at build time), so results are bit-identical
   /// to the serial shard loop; off = serial loop, for A/B benching.
   bool parallel_retrieval = true;
+  /// Two-phase retrieval: k-means candidate routing + low-bit sketch
+  /// prefilter (phase 1) ahead of candidate-masked exact crossbar scoring
+  /// (phase 2). Off by default — the exact PR 3 data path. With
+  /// `two_phase.nprobe = 0` (probe every cluster) results remain
+  /// bit-identical to the exact path while other users' key columns are
+  /// still skipped; smaller nprobe trades recall for pruned crossbar work
+  /// (see EngineStats::pruned_fraction / sampled_recall_at1).
+  TwoPhaseConfig two_phase;
   retrieval::Algorithm algorithm = retrieval::Algorithm::SSA;
   retrieval::ScaledSearchConfig ssa;
   cim::CrossbarConfig crossbar;
@@ -146,6 +154,18 @@ class ServingEngine {
     Matrix shard_queries;
     Matrix shard_scores;
     retrieval::CimRetriever::Scratch retrieve;
+    // Two-phase retrieval: per-row users, the routed candidate bitmaps and
+    // a second scores/scratch pair for the sampled exact-recall passes.
+    std::vector<std::size_t> row_users;
+    cim::CandidateSet candidates;
+    ShardedOvtStore::RouteScratch route;
+    Matrix exact_scores;
+    retrieval::CimRetriever::Scratch exact_retrieve;
+    // Batched decode: the stacked missed payload codes and the one-GEMM
+    // decode output.
+    Matrix decode_stacked;
+    Matrix decode_out;
+    std::vector<const Matrix*> decode_parts;
   };
 
   /// A unit of stage work fanned out to the worker pool (currently one
@@ -167,6 +187,14 @@ class ServingEngine {
   std::shared_ptr<const Matrix> prompt_locked_fetch(std::size_t user_id, std::size_t ovt_index,
                                                     bool* was_hit,
                                                     compress::Autoencoder::Scratch* scratch);
+  /// Publish one finished decode: cache the value (best-effort), retire the
+  /// in-flight entry and wake every waiter. The single implementation of
+  /// the single-flight completion protocol, shared by the per-request fetch
+  /// and the batched stage-3 decode.
+  void complete_decode_flight(const std::pair<std::size_t, std::size_t>& key,
+                              const std::shared_ptr<InFlightDecode>& flight,
+                              const std::shared_ptr<const Matrix>& value,
+                              const std::exception_ptr& error);
 
   llm::TinyLM* model_;
   const data::LampTask* task_;
@@ -183,6 +211,8 @@ class ServingEngine {
       inflight_;  ///< guarded by cache_mu_
   std::atomic<std::size_t> prompt_decodes_{0};
   std::atomic<std::size_t> coalesced_fetches_{0};
+  /// Routed shard passes so far — drives the recall-vs-exact sampling cadence.
+  std::atomic<std::size_t> routed_passes_{0};
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;      ///< workers wait for work / shutdown

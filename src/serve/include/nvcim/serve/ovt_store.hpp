@@ -5,9 +5,38 @@
 #include <unordered_map>
 #include <vector>
 
+#include "nvcim/cluster/kmeans.hpp"
 #include "nvcim/retrieval/search.hpp"
 
 namespace nvcim::serve {
+
+/// Two-phase (IVF-style) retrieval knobs: phase 1 clusters each user's OVT
+/// keys with the paper's Eq. 1/2 k-means machinery at store-build time and,
+/// per query, ranks the cluster centroids through a low-bit sketch GEMM to
+/// emit a candidate bitmap; phase 2 runs the exact crossbar scoring only on
+/// the candidates (masked fused kernel). Key order in the crossbars is
+/// untouched, so `nprobe = 0` (= examine every cluster) reproduces the
+/// exact path bit-identically on every candidate column.
+struct TwoPhaseConfig {
+  bool enabled = false;
+  /// Clusters examined per query. 0 = all clusters of the user — candidates
+  /// cover the full slot, results match exact retrieval bit-for-bit.
+  std::size_t nprobe = 2;
+  /// Optional cap on the shortlist: after cluster expansion keep at most
+  /// max(1, frac·slot_keys) candidates, ranked by the key-sketch scores.
+  /// 0 disables the trim.
+  double shortlist_frac = 0.0;
+  /// Bit width of the centroid/key sketch planes (4–8); sketches only rank,
+  /// they never contribute to the returned scores.
+  std::size_t sketch_bits = 6;
+  /// Paper Eq. 2 selection of k per user slot. Serving slots are larger
+  /// than the paper's training buffers, so the cap is raised.
+  cluster::KSelectionConfig k_select{2, 16, 5.0, 1.5};
+  cluster::KMeansConfig kmeans;
+  /// Every Nth routed shard pass also runs the unmasked exact scoring and
+  /// records recall-vs-exact into EngineStats. 0 disables sampling.
+  std::size_t recall_sample_every = 16;
+};
 
 struct OvtStoreConfig {
   std::size_t n_shards = 2;
@@ -16,6 +45,7 @@ struct OvtStoreConfig {
   cim::CrossbarConfig crossbar;
   nvm::VariationModel variation;
   cim::ProgramOptions program;
+  TwoPhaseConfig two_phase;
 };
 
 /// Multi-tenant OVT key store: packs many users' encoded prompt keys into a
@@ -26,9 +56,15 @@ struct OvtStoreConfig {
 /// to the least-loaded shard at registration, so shards stay balanced
 /// without a separate placement pass.
 ///
+/// With TwoPhaseConfig::enabled, build() additionally clusters every user's
+/// keys (k-means, k per Eq. 2) and quantizes centroid + key sketch planes;
+/// route_candidates() then ranks centroids per query through the sketches
+/// and emits candidate bitmaps the masked scoring path consumes.
+///
 /// Thread-safety: per-shard mutexes — queries against different shards
 /// proceed concurrently; queries against one shard serialize (the crossbar
-/// op counters make bank reads non-const).
+/// op counters make bank reads non-const). Routing reads immutable
+/// post-build state and needs no lock.
 class ShardedOvtStore {
  public:
   /// A user's placement: shard index plus its key range within the shard.
@@ -39,21 +75,56 @@ class ShardedOvtStore {
     std::size_t n_keys() const { return end - begin; }
   };
 
+  /// Reusable phase-1 buffers (one per serving worker): the sketched query
+  /// row, per-centroid scores, the centroid ranking order and the candidate
+  /// scratch of the shortlist trim.
+  struct RouteScratch {
+    std::vector<float> qsketch;
+    std::vector<float> centroid_scores;
+    std::vector<std::uint32_t> order;
+    std::vector<std::uint32_t> cand;
+    std::vector<float> cand_scores;
+  };
+
   explicit ShardedOvtStore(OvtStoreConfig cfg);
 
   /// Register a user's retrieval keys (all users must share one key shape).
   /// Must precede build(); user ids are unique.
   void add_user(std::size_t user_id, const std::vector<Matrix>& keys);
 
-  /// Program every shard's crossbar banks. Call once after registration.
+  /// Program every shard's crossbar banks (and, with two-phase retrieval
+  /// enabled, build every user's candidate router). Call once after
+  /// registration.
   void build(Rng& rng);
   bool built() const { return built_; }
 
   std::size_t n_shards() const { return shards_.size(); }
   std::size_t n_users() const { return slots_.size(); }
   std::size_t n_keys() const;
+  /// Keys packed into one shard (0 for an empty shard). Valid after build().
+  std::size_t shard_keys(std::size_t shard) const;
   bool has_user(std::size_t user_id) const { return slots_.count(user_id) > 0; }
   const UserSlot& slot(std::size_t user_id) const;
+
+  /// True when build() constructed candidate routers (two-phase enabled).
+  bool routed() const { return !routers_.empty(); }
+  /// Cluster count of one user's router (tests / diagnostics).
+  std::size_t router_k(std::size_t user_id) const;
+
+  /// Phase 1: candidate bitmaps over `shard`'s key columns for B queries
+  /// (row b belongs to row_users[b]). Ranks each user's cluster centroids
+  /// against the sketched query, expands the top-nprobe clusters to member
+  /// keys and optionally trims to the sketch-ranked shortlist. Every row
+  /// gets at least one candidate, all inside the user's slot.
+  ///
+  /// Returns the key columns the masked exact pass will actually compute:
+  /// the fused kernel prunes at accumulator-block granularity
+  /// (Crossbar::kAccumulatorLanes), so candidate work rounds up to whole
+  /// blocks — this count matches the kernel's own ADC accounting, not the
+  /// (smaller) raw candidate count.
+  std::size_t route_candidates(std::size_t shard, const Matrix& queries,
+                               const std::vector<std::size_t>& row_users,
+                               cim::CandidateSet& out, RouteScratch& scratch) const;
 
   /// Batched scores of B flattened queries against every key of `shard`
   /// (B×key_size → B×shard_keys). All queries of the batch must target this
@@ -64,8 +135,13 @@ class ShardedOvtStore {
   /// bit-identical, allocation-free once warm. Different shards may be
   /// queried concurrently (per-shard locking); callers running shards in
   /// parallel must pass distinct `out`/`scratch` per concurrent call.
+  /// With `candidates` (phase 2), only candidate columns are scored — those
+  /// entries are bit-identical to the unmasked pass; the rest are exact 0
+  /// or exact full-pass values (block-granular masking), so winners must be
+  /// picked with best_in_slot_candidates().
   void shard_scores_into(std::size_t shard, const Matrix& queries, Matrix& out,
-                         retrieval::CimRetriever::Scratch& scratch);
+                         retrieval::CimRetriever::Scratch& scratch,
+                         const cim::CandidateSet* candidates = nullptr);
 
   /// Serial reference path: best user-local OVT index for one query,
   /// through the single-query retrieval pipeline.
@@ -73,6 +149,12 @@ class ShardedOvtStore {
 
   /// User-local argmax of one scores row restricted to the user's key range.
   static std::size_t best_in_slot(const Matrix& scores, std::size_t row, const UserSlot& slot);
+
+  /// best_in_slot() restricted to the row's candidate columns (the masked
+  /// scoring path zeroes non-candidates, so they must not win the argmax).
+  static std::size_t best_in_slot_candidates(const Matrix& scores, std::size_t row,
+                                             const UserSlot& slot,
+                                             const cim::CandidateSet& candidates);
 
   /// Total crossbar op counters across all shards.
   cim::OpCounters counters() const;
@@ -84,9 +166,23 @@ class ShardedOvtStore {
     std::mutex mu;
   };
 
+  /// Phase-1 routing state of one user: cluster membership in CSR form
+  /// (user-local key indices, cluster-grouped) plus the quantized sketch
+  /// planes. Immutable after build().
+  struct UserRouter {
+    std::vector<std::uint32_t> member_begin;  ///< k+1 offsets into members
+    std::vector<std::uint32_t> members;       ///< user-local key indices
+    Matrix centroid_sketch;                   ///< k × key_size, low-bit ints
+    Matrix key_sketch;                        ///< slot_keys × key_size ints
+  };
+
+  void build_router(std::size_t user_id, const UserSlot& slot,
+                    const std::vector<Matrix>& shard_keys);
+
   OvtStoreConfig cfg_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unordered_map<std::size_t, UserSlot> slots_;
+  std::unordered_map<std::size_t, UserRouter> routers_;
   bool built_ = false;
 };
 

@@ -31,6 +31,23 @@ struct StatsSnapshot {
   std::vector<double> shard_retrieve_ms;
   /// Batches whose retrieve stage fanned shards out across the worker pool.
   std::size_t parallel_retrieve_fanouts = 0;
+  // Two-phase retrieval accounting (zero when the feature is off).
+  /// Key columns the masked exact pass actually computes. Block-granular:
+  /// the fused kernel rounds candidate work up to whole accumulator blocks
+  /// (Crossbar::kAccumulatorLanes), so this matches the kernel's own ADC
+  /// accounting and exceeds the raw candidate count.
+  std::size_t candidates_examined = 0;
+  /// Keys a full unmasked pass would have scored (B × shard keys, summed).
+  std::size_t candidates_possible = 0;
+  /// 1 − examined/possible: the fraction of exact crossbar work pruned.
+  double pruned_fraction = 0.0;
+  /// Sampled recall-vs-exact: every Nth routed shard pass also runs the
+  /// unmasked scoring and counts rows whose argmax matches.
+  std::size_t recall_samples = 0;
+  std::size_t recall_matches = 0;
+  double sampled_recall_at1 = 0.0;  ///< matches/samples (0 with no samples)
+  /// Decode GEMMs that stacked >1 missed payload into one batched pass.
+  std::size_t batched_decode_gemms = 0;
 };
 
 /// Thread-safe request/batch/latency accounting for a serving engine.
@@ -80,6 +97,27 @@ class EngineStats {
     ++parallel_retrieve_fanouts_;
   }
 
+  /// Accumulate one routed shard pass's candidate counts (keys the masked
+  /// pass scored vs keys a full pass would have scored).
+  void record_two_phase(std::size_t examined, std::size_t possible) {
+    std::lock_guard<std::mutex> lock(mu_);
+    candidates_examined_ += examined;
+    candidates_possible_ += possible;
+  }
+
+  /// Accumulate one sampled recall-vs-exact comparison.
+  void record_recall_sample(std::size_t rows, std::size_t matches) {
+    std::lock_guard<std::mutex> lock(mu_);
+    recall_samples_ += rows;
+    recall_matches_ += matches;
+  }
+
+  /// Count one decode GEMM that stacked several missed payloads.
+  void record_batched_decode() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++batched_decode_gemms_;
+  }
+
   StatsSnapshot snapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
     StatsSnapshot s;
@@ -106,6 +144,17 @@ class EngineStats {
     s.classify_ms = classify_ms_;
     s.shard_retrieve_ms = shard_retrieve_ms_;
     s.parallel_retrieve_fanouts = parallel_retrieve_fanouts_;
+    s.candidates_examined = candidates_examined_;
+    s.candidates_possible = candidates_possible_;
+    if (candidates_possible_ > 0)
+      s.pruned_fraction = 1.0 - static_cast<double>(candidates_examined_) /
+                                    static_cast<double>(candidates_possible_);
+    s.recall_samples = recall_samples_;
+    s.recall_matches = recall_matches_;
+    if (recall_samples_ > 0)
+      s.sampled_recall_at1 =
+          static_cast<double>(recall_matches_) / static_cast<double>(recall_samples_);
+    s.batched_decode_gemms = batched_decode_gemms_;
     return s;
   }
 
@@ -132,6 +181,11 @@ class EngineStats {
   double classify_ms_ = 0.0;
   std::vector<double> shard_retrieve_ms_;
   std::size_t parallel_retrieve_fanouts_ = 0;
+  std::size_t candidates_examined_ = 0;
+  std::size_t candidates_possible_ = 0;
+  std::size_t recall_samples_ = 0;
+  std::size_t recall_matches_ = 0;
+  std::size_t batched_decode_gemms_ = 0;
   std::vector<double> latencies_ms_;
 };
 

@@ -15,6 +15,7 @@ OvtStoreConfig store_config(const ServingConfig& cfg) {
   sc.ssa = cfg.ssa;
   sc.crossbar = cfg.crossbar;
   sc.variation = cfg.variation;
+  sc.two_phase = cfg.two_phase;
   return sc;
 }
 
@@ -236,14 +237,30 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
   // tasks until its group completes — so results are identical to the
   // serial shard loop, just overlapped in time.
   std::vector<std::size_t> ovt_index(B, 0);
+  const bool routed = cfg_.two_phase.enabled && store_.routed();
   std::vector<std::vector<std::size_t>> by_shard(store_.n_shards());
   for (std::size_t i = 0; i < B; ++i)
     if (!failed[i]) by_shard[store_.slot(batch[i].user_id).shard].push_back(i);
+  if (routed) {
+    // Group a shard pass's rows by user: the masked kernel skips an
+    // accumulator block only when none of its 4-query register tile needs
+    // it, so packing one user's queries adjacently keeps each tile's
+    // candidate columns confined to (mostly) one slot. Row order does not
+    // affect any row's scores — each query's accumulation is independent.
+    for (auto& members : by_shard)
+      std::stable_sort(members.begin(), members.end(),
+                       [&](std::size_t a, std::size_t b2) {
+                         return store_.slot(batch[a].user_id).begin <
+                                store_.slot(batch[b2].user_id).begin;
+                       });
+  }
 
   // One shard's retrieval, on the *executing* worker's scratch: pack that
-  // shard's representation rows, score them against the shard's banks, mask
-  // each row to its user's slot. A failure poisons only the shard's own
-  // requests (their indices are touched by no other task).
+  // shard's representation rows, (with two-phase retrieval) route their
+  // candidate bitmaps, score them against the shard's banks — masked to the
+  // candidates when routed — and mask each row to its user's slot. A
+  // failure poisons only the shard's own requests (their indices are
+  // touched by no other task).
   const auto retrieve_shard = [&](std::size_t shard, WorkerState& tws) {
     const std::vector<std::size_t>& members = by_shard[shard];
     const Clock::time_point t0 = Clock::now();
@@ -253,11 +270,40 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
       for (std::size_t r = 0; r < members.size(); ++r)
         std::memcpy(queries.data() + r * rep_size_, reps.data() + members[r] * rep_size_,
                     rep_size_ * sizeof(float));
-      store_.shard_scores_into(shard, queries, tws.shard_scores, tws.retrieve);
-      for (std::size_t r = 0; r < members.size(); ++r) {
-        const std::size_t i = members[r];
-        ovt_index[i] =
-            ShardedOvtStore::best_in_slot(tws.shard_scores, r, store_.slot(batch[i].user_id));
+      if (routed) {
+        tws.row_users.clear();
+        tws.row_users.reserve(members.size());
+        for (const std::size_t i : members) tws.row_users.push_back(batch[i].user_id);
+        const std::size_t examined =
+            store_.route_candidates(shard, queries, tws.row_users, tws.candidates, tws.route);
+        store_.shard_scores_into(shard, queries, tws.shard_scores, tws.retrieve,
+                                 &tws.candidates);
+        for (std::size_t r = 0; r < members.size(); ++r) {
+          const std::size_t i = members[r];
+          ovt_index[i] = ShardedOvtStore::best_in_slot_candidates(
+              tws.shard_scores, r, store_.slot(batch[i].user_id), tws.candidates);
+        }
+        stats_.record_two_phase(examined, members.size() * store_.shard_keys(shard));
+        // Sampled recall-vs-exact: every Nth routed pass also runs the
+        // unmasked scoring and counts rows whose winner matches.
+        const std::size_t every = cfg_.two_phase.recall_sample_every;
+        if (every > 0 && routed_passes_++ % every == 0) {
+          store_.shard_scores_into(shard, queries, tws.exact_scores, tws.exact_retrieve);
+          std::size_t matches = 0;
+          for (std::size_t r = 0; r < members.size(); ++r) {
+            const ShardedOvtStore::UserSlot& us = store_.slot(batch[members[r]].user_id);
+            if (ShardedOvtStore::best_in_slot(tws.exact_scores, r, us) == ovt_index[members[r]])
+              ++matches;
+          }
+          stats_.record_recall_sample(members.size(), matches);
+        }
+      } else {
+        store_.shard_scores_into(shard, queries, tws.shard_scores, tws.retrieve);
+        for (std::size_t r = 0; r < members.size(); ++r) {
+          const std::size_t i = members[r];
+          ovt_index[i] =
+              ShardedOvtStore::best_in_slot(tws.shard_scores, r, store_.slot(batch[i].user_id));
+        }
       }
     } catch (...) {
       for (const std::size_t i : members)
@@ -322,27 +368,199 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
   }
   const double retrieve_ms = lap();
 
-  // ---- Stage 3: decoded-prompt fetch through the cache (single-flight).
+  // ---- Stage 3: decoded-prompt fetch through the cache. One lock pass
+  // probes the cache and registers this worker as the single-flight leader
+  // for every distinct missed key; the batch's missed payload rows then
+  // stack into ONE decode GEMM per shared autoencoder (rows are independent
+  // under decode, so results are bit-identical to per-key decodes), results
+  // land in the cache, flights complete, and followers of other workers'
+  // flights wait last — leaders never block on followers, so the order is
+  // deadlock-free.
   std::vector<std::shared_ptr<const Matrix>> prompts(B);
   std::vector<char> cache_hit(B, 0);
-  for (std::size_t i = 0; i < B; ++i) {
-    if (failed[i]) continue;
+  using CacheKey = std::pair<std::size_t, std::size_t>;
+  struct LeaderDecode {
+    std::size_t req;  ///< first request index that missed on this key
+    CacheKey key;
+    std::shared_ptr<InFlightDecode> flight;
+    std::shared_ptr<const Matrix> value;
+    std::exception_ptr error;
+  };
+  std::vector<LeaderDecode> leaders;
+  std::vector<std::pair<std::size_t, std::shared_ptr<InFlightDecode>>> followers;
+  // Capacity up front: once a flight is registered in inflight_, the vector
+  // push recording it must not throw, or the key would wedge forever.
+  leaders.reserve(B);
+  followers.reserve(B);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    for (std::size_t i = 0; i < B; ++i) {
+      if (failed[i]) continue;
+      const CacheKey key{batch[i].user_id, ovt_index[i]};
+      if (auto hit = cache_.get(key)) {
+        prompts[i] = *hit;
+        cache_hit[i] = 1;
+        continue;
+      }
+      auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        // Another worker (or an earlier request of this batch) is already
+        // decoding this key — coalesce onto its flight.
+        ++coalesced_fetches_;
+        followers.emplace_back(i, it->second);
+        continue;
+      }
+      LeaderDecode ld;
+      ld.req = i;
+      ld.key = key;
+      ld.flight = std::make_shared<InFlightDecode>();
+      inflight_.emplace(key, ld.flight);
+      leaders.push_back(std::move(ld));
+    }
+  }
+
+  if (!leaders.empty()) {
+    // Group the missed keys by autoencoder (cross-user groups share one
+    // decoder exactly as the encode stage shares encoders) and decode each
+    // group in a single stacked GEMM. A group failure falls back to per-key
+    // decodes so one bad payload cannot poison its neighbours. The whole
+    // region is fenced: every registered flight MUST reach the completion
+    // loop below — an escaped exception (e.g. bad_alloc in the grouping)
+    // becomes the error of every still-unfinished leader, never a wedged
+    // in-flight key that blocks future fetchers forever.
     try {
-      bool hit = false;
-      prompts[i] = prompt_locked_fetch(batch[i].user_id, ovt_index[i], &hit, &ws.encode.autoencoder);
-      cache_hit[i] = hit ? 1 : 0;
+      std::vector<std::pair<const compress::Autoencoder*, std::vector<std::size_t>>> dgroups;
+      for (std::size_t l = 0; l < leaders.size(); ++l) {
+        const compress::Autoencoder* ae =
+            deployments_.at(leaders[l].key.first).autoencoder.get();
+        auto it = std::find_if(dgroups.begin(), dgroups.end(),
+                               [ae](const auto& g) { return g.first == ae; });
+        if (it == dgroups.end()) {
+          dgroups.emplace_back(ae, std::vector<std::size_t>{});
+          it = std::prev(dgroups.end());
+        }
+        it->second.push_back(l);
+      }
+      for (const auto& [ae, group] : dgroups) {
+        bool fused = false;
+        if (group.size() > 1) {
+          try {
+            ws.decode_parts.clear();
+            ws.decode_parts.reserve(group.size());
+            for (const std::size_t l : group)
+              ws.decode_parts.push_back(
+                  &deployments_.at(leaders[l].key.first).stored_codes[leaders[l].key.second]);
+            stack_rows_into(ws.decode_parts, ws.decode_stacked);
+            ae->decode_into(ws.decode_stacked, ws.decode_out, &ws.encode.autoencoder);
+            std::size_t r0 = 0;
+            for (std::size_t g = 0; g < group.size(); ++g) {
+              const std::size_t rows = ws.decode_parts[g]->rows();
+              leaders[group[g]].value =
+                  std::make_shared<const Matrix>(ws.decode_out.row_slice(r0, r0 + rows));
+              r0 += rows;
+              ++prompt_decodes_;
+            }
+            stats_.record_batched_decode();
+            fused = true;
+          } catch (...) {
+            for (const std::size_t l : group) leaders[l].value.reset();
+          }
+        }
+        if (!fused) {
+          for (const std::size_t l : group) {
+            try {
+              auto owned = std::make_shared<Matrix>();
+              deployments_.at(leaders[l].key.first)
+                  .decode_prompt_into(leaders[l].key.second, *owned, &ws.encode.autoencoder);
+              leaders[l].value = std::move(owned);
+              ++prompt_decodes_;
+            } catch (...) {
+              leaders[l].error = std::current_exception();
+            }
+          }
+        }
+      }
+    } catch (...) {
+      for (LeaderDecode& ld : leaders)
+        if (!ld.value && !ld.error) ld.error = std::current_exception();
+    }
+    for (LeaderDecode& ld : leaders) {
+      complete_decode_flight(ld.key, ld.flight, ld.value, ld.error);
+      if (ld.error) {
+        if (!failed[ld.req]) {
+          failed[ld.req] = 1;
+          batch[ld.req].promise.set_exception(ld.error);
+        }
+      } else {
+        prompts[ld.req] = ld.value;
+      }
+    }
+  }
+
+  for (auto& [i, flight] : followers) {
+    try {
+      std::unique_lock<std::mutex> lock(flight->mu);
+      flight->cv.wait(lock, [&flight] { return flight->done; });
+      if (flight->error) std::rethrow_exception(flight->error);
+      prompts[i] = flight->value;
+      cache_hit[i] = 1;  // shared the leader's decode
     } catch (...) {
       fail(i);
     }
   }
   const double decode_ms = lap();
 
-  // ---- Stage 4: optional classification (deduplicated within the batch),
+  // ---- Stage 4: optional classification — deduplicated up front, the
+  // unique forwards batched through TinyLM::classify_batch (one embedding
+  // gather pass + a reused tape instead of per-request tape construction) —
   // then finish every surviving request.
   const bool classify =
       cfg_.run_inference && task_->config().kind == data::TaskKind::Classification;
   std::vector<std::size_t> labels(B, 0);
   std::vector<char> labelled(B, 0);
+  if (classify) {
+    // Dedup first: identical (user, OVT, input) requests share one forward.
+    // The O(B²) rescan is bounded by max_batch and short-circuits on the
+    // integer fields, so the token-vector compare only runs for probable
+    // duplicates.
+    std::vector<std::size_t> uniq;
+    std::vector<std::size_t> dup_of(B, B);
+    for (std::size_t i = 0; i < B; ++i) {
+      if (failed[i]) continue;
+      for (std::size_t j = 0; j < i && dup_of[i] == B; ++j) {
+        if (!failed[j] && dup_of[j] == B && batch[j].user_id == batch[i].user_id &&
+            ovt_index[j] == ovt_index[i] && batch[j].query.input == batch[i].query.input)
+          dup_of[i] = j;
+      }
+      if (dup_of[i] == B) uniq.push_back(i);
+    }
+    if (!uniq.empty()) {
+      try {
+        std::vector<const std::vector<int>*> seqs;
+        std::vector<const Matrix*> soft_prompts;
+        seqs.reserve(uniq.size());
+        soft_prompts.reserve(uniq.size());
+        for (const std::size_t i : uniq) {
+          seqs.push_back(&batch[i].query.input);
+          soft_prompts.push_back(prompts[i].get());
+        }
+        const std::vector<std::size_t> out =
+            model_->classify_batch(seqs, task_->label_ids(), soft_prompts);
+        for (std::size_t r = 0; r < uniq.size(); ++r) {
+          labels[uniq[r]] = out[r];
+          labelled[uniq[r]] = 1;
+        }
+      } catch (...) {
+        // Fall through: the finish loop below retries each request alone, so
+        // one malformed query cannot poison the whole group's batch.
+      }
+    }
+    for (std::size_t i = 0; i < B; ++i) {
+      if (failed[i] || labelled[i] || dup_of[i] == B) continue;
+      labels[i] = labels[dup_of[i]];
+      labelled[i] = labelled[dup_of[i]];
+    }
+  }
   for (std::size_t i = 0; i < B; ++i) {
     if (failed[i]) continue;
     Pending& p = batch[i];
@@ -352,18 +570,7 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
       resp.ovt_index = ovt_index[i];
       resp.cache_hit = cache_hit[i] != 0;
       if (classify) {
-        // Identical (user, OVT, input) requests earlier in the batch already
-        // ran this exact forward — reuse their label. The O(B²) rescan is
-        // bounded by max_batch and short-circuits on the integer fields, so
-        // the token-vector compare only runs for probable duplicates.
-        for (std::size_t j = 0; j < i && !labelled[i]; ++j) {
-          if (labelled[j] && batch[j].user_id == p.user_id && ovt_index[j] == ovt_index[i] &&
-              batch[j].query.input == p.query.input) {
-            labels[i] = labels[j];
-            labelled[i] = 1;
-          }
-        }
-        if (!labelled[i]) {
+        if (!labelled[i]) {  // batched pass failed — serial fallback
           labels[i] = model_->classify(p.query.input, task_->label_ids(), prompts[i].get());
           labelled[i] = 1;
         }
@@ -427,28 +634,35 @@ std::shared_ptr<const Matrix> ServingEngine::prompt_locked_fetch(
   } catch (...) {
     error = std::current_exception();
   }
+  complete_decode_flight(key, flight, decoded, error);
+  if (error) std::rethrow_exception(error);
+  if (was_hit != nullptr) *was_hit = false;
+  return decoded;
+}
+
+void ServingEngine::complete_decode_flight(const std::pair<std::size_t, std::size_t>& key,
+                                           const std::shared_ptr<InFlightDecode>& flight,
+                                           const std::shared_ptr<const Matrix>& value,
+                                           const std::exception_ptr& error) {
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     if (!error) {
       try {
-        cache_.put(key, decoded);
+        cache_.put(key, value);
       } catch (...) {
-        // A failed cache insert must not wedge the key: the flight below is
-        // still completed and the decoded value delivered, just not cached.
+        // A failed cache insert must not wedge the key: the flight is still
+        // completed and the decoded value delivered, just not cached.
       }
     }
     inflight_.erase(key);
   }
   {
     std::lock_guard<std::mutex> lock(flight->mu);
-    flight->value = decoded;
+    flight->value = value;
     flight->error = error;
     flight->done = true;
   }
   flight->cv.notify_all();
-  if (error) std::rethrow_exception(error);
-  if (was_hit != nullptr) *was_hit = false;
-  return decoded;
 }
 
 std::shared_ptr<const Matrix> ServingEngine::prompt(std::size_t user_id, std::size_t ovt_index) {

@@ -1,11 +1,16 @@
 #include "nvcim/serve/ovt_store.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "nvcim/cim/quant.hpp"
 
 namespace nvcim::serve {
 
 ShardedOvtStore::ShardedOvtStore(OvtStoreConfig cfg) : cfg_(std::move(cfg)) {
   NVCIM_CHECK_MSG(cfg_.n_shards > 0, "store needs at least one shard");
+  NVCIM_CHECK_MSG(cfg_.two_phase.sketch_bits >= 4 && cfg_.two_phase.sketch_bits <= 8,
+                  "sketch_bits must be in [4, 8]");
   shards_.reserve(cfg_.n_shards);
   for (std::size_t s = 0; s < cfg_.n_shards; ++s) shards_.push_back(std::make_unique<Shard>());
 }
@@ -29,6 +34,68 @@ void ShardedOvtStore::add_user(std::size_t user_id, const std::vector<Matrix>& k
   slots_.emplace(user_id, slot);
 }
 
+void ShardedOvtStore::build_router(std::size_t user_id, const UserSlot& slot,
+                                   const std::vector<Matrix>& shard_keys) {
+  const std::size_t n = slot.n_keys();
+  const std::size_t key_size = shard_keys[slot.begin].size();
+
+  // Flatten the user's keys once: k-means points and the sketch plane share
+  // this layout.
+  std::vector<Matrix> points;
+  Matrix key_mat(n, key_size);
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(shard_keys[slot.begin + i].flattened());
+    key_mat.set_row(i, points.back());
+  }
+
+  const std::size_t k =
+      std::min(cluster::select_k(n, cfg_.two_phase.k_select), n);
+  cluster::KMeansConfig kmcfg = cfg_.two_phase.kmeans;
+  // Deterministic, distinct stream per user: routing must not depend on
+  // registration or build order.
+  kmcfg.seed = kmcfg.seed + 0x9E3779B97F4A7C15ull * (user_id + 1);
+  const cluster::KMeansResult km = cluster::kmeans(points, k, kmcfg);
+
+  // Compact away empty clusters: k-means can re-seed a cluster in its final
+  // iteration and converge before any point lands in it. Probing an empty
+  // centroid would waste an nprobe slot — and at nprobe = 1 could produce
+  // an empty candidate set.
+  std::vector<std::uint32_t> remap(km.k, 0);
+  std::vector<std::size_t> kept;
+  {
+    std::vector<std::size_t> counts(km.k, 0);
+    for (const std::size_t a : km.assignment) ++counts[a];
+    for (std::size_t c = 0; c < km.k; ++c) {
+      if (counts[c] == 0) continue;
+      remap[c] = static_cast<std::uint32_t>(kept.size());
+      kept.push_back(c);
+    }
+  }
+
+  UserRouter router;
+  router.member_begin.assign(kept.size() + 1, 0);
+  for (const std::size_t a : km.assignment) ++router.member_begin[remap[a] + 1];
+  for (std::size_t c = 0; c < kept.size(); ++c)
+    router.member_begin[c + 1] += router.member_begin[c];
+  router.members.resize(n);
+  std::vector<std::uint32_t> cursor(router.member_begin.begin(), router.member_begin.end() - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    router.members[cursor[remap[km.assignment[i]]]++] = static_cast<std::uint32_t>(i);
+
+  // Low-bit sketch planes over centroids and keys. Only the integer grids
+  // matter: ranking by q(x)·q(c) is scale-invariant (symmetric quantization
+  // scales are positive), so the scales are dropped.
+  Matrix centroid_mat(kept.size(), key_size);
+  for (std::size_t c = 0; c < kept.size(); ++c)
+    centroid_mat.set_row(c, km.centroids[kept[c]]);
+  const int bits = static_cast<int>(cfg_.two_phase.sketch_bits);
+  router.centroid_sketch = cim::quantize_symmetric(centroid_mat, bits).q;
+  router.key_sketch = cim::quantize_symmetric(key_mat, bits).q;
+
+  routers_.emplace(user_id, std::move(router));
+}
+
 void ShardedOvtStore::build(Rng& rng) {
   NVCIM_CHECK_MSG(!built_, "store already built");
   NVCIM_CHECK_MSG(!slots_.empty(), "no users registered");
@@ -38,6 +105,14 @@ void ShardedOvtStore::build(Rng& rng) {
   rcfg.crossbar = cfg_.crossbar;
   rcfg.variation = cfg_.variation;
   rcfg.program = cfg_.program;
+  // Phase-1 routers are built from the clean keys before the crossbars
+  // consume (and the shards drop) them. Key order inside each shard is
+  // untouched — programming draws the same noise stream as the exact path,
+  // so nprobe = all reproduces it bit-identically.
+  if (cfg_.two_phase.enabled) {
+    for (const auto& [user_id, slot] : slots_)
+      build_router(user_id, slot, shards_[slot.shard]->keys);
+  }
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = *shards_[s];
     if (shard.keys.empty()) continue;  // more shards than users
@@ -59,10 +134,131 @@ std::size_t ShardedOvtStore::n_keys() const {
   return n;
 }
 
+std::size_t ShardedOvtStore::shard_keys(std::size_t shard) const {
+  NVCIM_CHECK_MSG(built_, "store not built");
+  NVCIM_CHECK_MSG(shard < shards_.size(), "shard " << shard << " out of range");
+  const Shard& s = *shards_[shard];
+  return s.retriever != nullptr ? s.retriever->n_keys() : 0;
+}
+
 const ShardedOvtStore::UserSlot& ShardedOvtStore::slot(std::size_t user_id) const {
   auto it = slots_.find(user_id);
   NVCIM_CHECK_MSG(it != slots_.end(), "unknown user " << user_id);
   return it->second;
+}
+
+std::size_t ShardedOvtStore::router_k(std::size_t user_id) const {
+  auto it = routers_.find(user_id);
+  NVCIM_CHECK_MSG(it != routers_.end(), "no router for user " << user_id);
+  return it->second.member_begin.size() - 1;
+}
+
+std::size_t ShardedOvtStore::route_candidates(std::size_t shard, const Matrix& queries,
+                                              const std::vector<std::size_t>& row_users,
+                                              cim::CandidateSet& out, RouteScratch& rs) const {
+  NVCIM_CHECK_MSG(built_, "store not built");
+  NVCIM_CHECK_MSG(routed(), "two-phase retrieval not enabled at build time");
+  NVCIM_CHECK_MSG(queries.rows() == row_users.size(), "one user per query row required");
+  const std::size_t B = queries.rows();
+  const std::size_t key_size = queries.cols();
+  out.reset(B, shard_keys(shard));
+
+  const float qmax =
+      static_cast<float>(cim::qmax_for_bits(static_cast<int>(cfg_.two_phase.sketch_bits)));
+  rs.qsketch.resize(key_size);
+
+  for (std::size_t b = 0; b < B; ++b) {
+    const UserSlot& us = slot(row_users[b]);
+    NVCIM_CHECK_MSG(us.shard == shard, "query row " << b << " targets shard " << us.shard
+                                                    << ", not " << shard);
+    const UserRouter& router = routers_.at(row_users[b]);
+    const std::size_t k = router.member_begin.size() - 1;
+
+    // Sketch the query at the same bit width as the stored planes.
+    const float* q = queries.data() + b * key_size;
+    float ma = 0.0f;
+    for (std::size_t i = 0; i < key_size; ++i) ma = std::max(ma, std::fabs(q[i]));
+    const float scale = ma > 0.0f ? ma / qmax : 1.0f;
+    for (std::size_t i = 0; i < key_size; ++i) rs.qsketch[i] = std::round(q[i] / scale);
+
+    // Rank centroids by the sketch inner product (the cheap phase-1 GEMM:
+    // k × key_size multiply-adds per query, vs shard_keys × key_size for
+    // the exact pass).
+    rs.centroid_scores.resize(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      const float* cent = router.centroid_sketch.data() + c * key_size;
+      float s = 0.0f;
+      for (std::size_t i = 0; i < key_size; ++i) s += rs.qsketch[i] * cent[i];
+      rs.centroid_scores[c] = s;
+    }
+    const std::size_t np =
+        (cfg_.two_phase.nprobe == 0 || cfg_.two_phase.nprobe >= k) ? k : cfg_.two_phase.nprobe;
+    rs.order.resize(k);
+    for (std::size_t c = 0; c < k; ++c) rs.order[c] = static_cast<std::uint32_t>(c);
+    std::partial_sort(rs.order.begin(), rs.order.begin() + np, rs.order.end(),
+                      [&rs](std::uint32_t a, std::uint32_t c) {
+                        return rs.centroid_scores[a] > rs.centroid_scores[c];
+                      });
+
+    // Expand the probed clusters to member keys.
+    rs.cand.clear();
+    for (std::size_t p = 0; p < np; ++p) {
+      const std::uint32_t c = rs.order[p];
+      for (std::uint32_t m = router.member_begin[c]; m < router.member_begin[c + 1]; ++m)
+        rs.cand.push_back(router.members[m]);
+    }
+
+    // Optional key-sketch trim of the shortlist.
+    const double frac = cfg_.two_phase.shortlist_frac;
+    if (frac > 0.0 && frac < 1.0) {
+      const std::size_t cap = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(frac * static_cast<double>(us.n_keys()))));
+      if (rs.cand.size() > cap) {
+        rs.cand_scores.resize(rs.cand.size());
+        for (std::size_t j = 0; j < rs.cand.size(); ++j) {
+          const float* key = router.key_sketch.data() + rs.cand[j] * key_size;
+          float s = 0.0f;
+          for (std::size_t i = 0; i < key_size; ++i) s += rs.qsketch[i] * key[i];
+          rs.cand_scores[j] = s;
+        }
+        // Rank candidate positions by sketch score (deterministic ties) and
+        // keep the top cap; lists are tiny (≤ slot keys), a full sort is fine.
+        std::vector<std::size_t> idx(rs.cand.size());
+        for (std::size_t j = 0; j < idx.size(); ++j) idx[j] = j;
+        std::sort(idx.begin(), idx.end(), [&rs](std::size_t a, std::size_t c) {
+          if (rs.cand_scores[a] != rs.cand_scores[c])
+            return rs.cand_scores[a] > rs.cand_scores[c];
+          return rs.cand[a] < rs.cand[c];  // deterministic tie-break
+        });
+        std::vector<std::uint32_t> kept;
+        kept.reserve(cap);
+        for (std::size_t j = 0; j < cap; ++j) kept.push_back(rs.cand[idx[j]]);
+        rs.cand.swap(kept);
+      }
+    }
+
+    NVCIM_CHECK_MSG(!rs.cand.empty(), "router produced an empty candidate set");
+    for (const std::uint32_t local : rs.cand) out.set(b, us.begin + local);
+  }
+
+  // Block-granular examined count, mirroring the kernel: columns tile into
+  // crossbar subarrays of cfg_.crossbar.cols, and within a tile candidate
+  // work rounds up to accumulator blocks of kAccumulatorLanes / pitch
+  // output columns. Sum per query over blocks containing any candidate.
+  const std::size_t tile_cols = cfg_.crossbar.cols;
+  const std::size_t block_cols =
+      cim::Crossbar::kAccumulatorLanes / (cfg_.crossbar.differential ? 2 : 1);
+  std::size_t examined = 0;
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t t0 = 0; t0 < out.n_keys; t0 += tile_cols) {
+      const std::size_t t1 = std::min(out.n_keys, t0 + tile_cols);
+      for (std::size_t c0 = t0; c0 < t1; c0 += block_cols) {
+        const std::size_t c1 = std::min(t1, c0 + block_cols);
+        if (out.any_in_range(b, c0, c1)) examined += c1 - c0;
+      }
+    }
+  }
+  return examined;
 }
 
 Matrix ShardedOvtStore::shard_scores(std::size_t shard, const Matrix& queries) {
@@ -73,13 +269,14 @@ Matrix ShardedOvtStore::shard_scores(std::size_t shard, const Matrix& queries) {
 }
 
 void ShardedOvtStore::shard_scores_into(std::size_t shard, const Matrix& queries, Matrix& out,
-                                        retrieval::CimRetriever::Scratch& scratch) {
+                                        retrieval::CimRetriever::Scratch& scratch,
+                                        const cim::CandidateSet* candidates) {
   NVCIM_CHECK_MSG(built_, "store not built");
   NVCIM_CHECK_MSG(shard < shards_.size(), "shard " << shard << " out of range");
   Shard& s = *shards_[shard];
   NVCIM_CHECK_MSG(s.retriever != nullptr, "shard " << shard << " holds no keys");
   std::lock_guard<std::mutex> lock(s.mu);
-  s.retriever->scores_batch_into(queries, out, scratch);
+  s.retriever->scores_batch_into(queries, out, scratch, candidates);
 }
 
 std::size_t ShardedOvtStore::retrieve_user(std::size_t user_id, const Matrix& query) {
@@ -98,6 +295,20 @@ std::size_t ShardedOvtStore::best_in_slot(const Matrix& scores, std::size_t row,
   std::size_t best = slot.begin;
   for (std::size_t i = slot.begin + 1; i < slot.end; ++i)
     if (scores(row, i) > scores(row, best)) best = i;
+  return best - slot.begin;
+}
+
+std::size_t ShardedOvtStore::best_in_slot_candidates(const Matrix& scores, std::size_t row,
+                                                     const UserSlot& slot,
+                                                     const cim::CandidateSet& candidates) {
+  NVCIM_CHECK_MSG(slot.end <= scores.cols(), "slot exceeds score row");
+  NVCIM_CHECK_MSG(slot.n_keys() > 0, "empty slot");
+  std::size_t best = slot.end;  // sentinel: no candidate seen yet
+  for (std::size_t i = slot.begin; i < slot.end; ++i) {
+    if (!candidates.test(row, i)) continue;
+    if (best == slot.end || scores(row, i) > scores(row, best)) best = i;
+  }
+  NVCIM_CHECK_MSG(best != slot.end, "no candidate inside the user's slot");
   return best - slot.begin;
 }
 

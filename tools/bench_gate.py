@@ -14,8 +14,14 @@ Policy (chosen so the gate is meaningful across runner generations):
     pipeline shape. A stage whose share grows by more than
     ``share_tolerance`` (absolute, e.g. 0.25 = 25 percentage points)
     indicates the stage regressed relative to its pipeline.
-  * All other leaves (absolute microbench ms, request counts, ...) are
-    informational only.
+  * Retrieval-quality leaves: ``recall_at1`` (the headline sweep point the
+    PR advertises) must stay >= ``recall_floor``, and ``default_recall_at1``
+    (the out-of-the-box nprobe — the falsifiable signal, since the headline
+    re-picks a compliant point each run) must stay >=
+    ``default_recall_floor``. Absolute floors, not relative ones: a speedup
+    bought below the floor is a regression regardless of the baseline.
+  * All other leaves (absolute microbench ms, request counts, sweep-point
+    recalls, ...) are informational only.
 
 Exit status: 0 = no regression, 1 = regression, 2 = usage/structure error.
 """
@@ -75,6 +81,15 @@ def main():
                     help="relative drop allowed for rps/speedup leaves (default 0.25)")
     ap.add_argument("--share-tolerance", type=float, default=0.25,
                     help="absolute stage-share growth allowed (default 0.25)")
+    ap.add_argument("--recall-floor", type=float, default=0.95,
+                    help="absolute floor for the headline recall_at1 leaf in the "
+                         "fresh run (default 0.95)")
+    ap.add_argument("--default-recall-floor", type=float, default=0.90,
+                    help="absolute floor for default_recall_at1 — the shipped "
+                         "default nprobe's recall. Looser than the headline floor: "
+                         "the default point sits near 0.95 and floats run to run, "
+                         "but a catastrophic routing regression (e.g. 0.5) must "
+                         "fail (default 0.90)")
     ap.add_argument("--ratios-only", action="store_true",
                     help="gate only hardware-portable metrics (speedup ratios and "
                          "stage shares), skipping absolute *_rps leaves — use when "
@@ -101,7 +116,17 @@ def main():
             failures.append(f"MISSING  {dotted}: present in committed baseline, "
                             "absent from fresh run")
             continue
-        if key.endswith("_rps") or "speedup" in key:
+        if key in ("recall_at1", "default_recall_at1"):
+            # Absolute quality floors, hardware-portable by construction.
+            floor = args.recall_floor if key == "recall_at1" else args.default_recall_floor
+            checked += 1
+            status = "ok" if value >= floor else "REGRESSED"
+            print(f"{status:>9}  {dotted}: {base:.4f} -> {value:.4f} "
+                  f"(floor {floor:.2f})")
+            if value < floor:
+                failures.append(f"REGRESSED  {dotted}: recall {value:.4f} below "
+                                f"floor {floor:.2f}")
+        elif key.endswith("_rps") or "speedup" in key:
             if args.ratios_only and key.endswith("_rps"):
                 continue
             checked += 1
