@@ -83,7 +83,9 @@ struct Workload {
     return llm::TinyLM(cfg, 7);
   }
 
-  core::TrainedDeployment make_deployment(std::size_t user) {
+  /// `keys_mult` scales the key count (churn bench admits oversized hot
+  /// tenants so the rebalancer actually has load skew to migrate away).
+  core::TrainedDeployment make_deployment(std::size_t user, std::size_t keys_mult = 1) {
     core::TrainedDeployment d;
     d.autoencoder = autoencoder;
     d.n_virtual_tokens = wcfg.n_virtual_tokens;
@@ -92,7 +94,7 @@ struct Workload {
     for (std::size_t p = 0; p < wcfg.key_protos; ++p)
       protos.push_back(
           Matrix::rand_uniform(wcfg.n_virtual_tokens, wcfg.code_dim, rng, -1.0f, 1.0f));
-    for (std::size_t k = 0; k < wcfg.keys_per_user; ++k) {
+    for (std::size_t k = 0; k < wcfg.keys_per_user * keys_mult; ++k) {
       if (protos.empty()) {
         d.keys.push_back(
             Matrix::rand_uniform(wcfg.n_virtual_tokens, wcfg.code_dim, rng, -1.0f, 1.0f));
@@ -303,6 +305,124 @@ void bench_two_phase(FILE* json, std::size_t n_requests, std::size_t n_users) {
                "    \"pruned_fraction\": %.3f, \"sampled_recall\": %.4f\n  },\n",
                best->nprobe, best->recall, default_recall, best->speedup,
                best->rps / exact_rps, best->pruned, best->sampled);
+}
+
+/// Churn scenario: a steady admit/evict mix (plus periodic rebalance cycles)
+/// riding on top of B=16 serving traffic, against the same engine serving
+/// the same traffic with zero churn. Reports the p95 latency impact of live
+/// migration + router refresh as a ratio (churn p95 / steady p95) — the
+/// hardware-portable leaf the CI gate fails on when it grows >25%.
+/// Lifecycle + two-phase are on in BOTH passes, so the ratio isolates the
+/// churn operations, not the subsystem's bookkeeping.
+void bench_churn(FILE* json, std::size_t n_requests, std::size_t n_users) {
+  WorkloadConfig wc;
+  wc.d_model = 16;
+  wc.code_dim = 24;
+  wc.n_virtual_tokens = 4;
+  wc.ae_hidden = 32;
+  wc.keys_per_user = 48;
+  wc.crossbar_rows = 384;  // the paper's subarray geometry
+  wc.crossbar_cols = 128;
+  wc.key_protos = 6;  // clustered keys: admits exercise a real router refresh
+  Workload w(wc, n_users, n_requests);
+
+  const std::size_t shards = 4, threads = 4, batch = 16;
+  std::printf("\n-- churn scenario (admit/evict mix + rebalance at B=%zu, %zu users, "
+              "%zu requests, %zu shards) --\n",
+              batch, n_users, n_requests, shards);
+  std::fprintf(json,
+               "  \"churn\": {\"users\": %zu, \"requests\": %zu, \"shards\": %zu, "
+               "\"threads\": %zu, \"batch\": %zu,\n",
+               n_users, n_requests, shards, threads, batch);
+
+  serve::ServingConfig cfg = w.engine_config(shards, threads, batch);
+  cfg.min_batch = batch;
+  cfg.batch_window_ms = 50.0;
+  cfg.lifecycle.enabled = true;
+  cfg.two_phase.enabled = true;  // router refresh is part of the admit cost
+
+  // `churn_every` = admit one new tenant + evict the previous churned one
+  // per this many waves; every 4th churn also runs a rebalance cycle.
+  const auto run_pass = [&](bool churn, serve::StatsSnapshot* stats) {
+    serve::ServingEngine engine(w.model, w.task, cfg);
+    for (std::size_t u = 0; u < w.n_users; ++u)
+      engine.add_deployment(u, w.make_deployment(u));
+    engine.start();
+    const std::size_t churn_every = 2;
+    std::size_t wave_id = 0, churned = 0;
+    std::size_t live_churn_user = static_cast<std::size_t>(-1);
+    const double t0 = now_ms();
+    std::vector<std::future<serve::Response>> futures;
+    for (std::size_t start = 0; start < w.requests.size(); start += batch) {
+      if (churn && wave_id % churn_every == 0) {
+        // Oversized "hot tenant" admits (2× keys) skew shard loads, so the
+        // periodic rebalance cycles have real migrations to run.
+        const std::size_t fresh = 100000 + churned++;
+        engine.admit_user(fresh, w.make_deployment(fresh, /*keys_mult=*/2));
+        if (live_churn_user != static_cast<std::size_t>(-1))
+          engine.evict_user(live_churn_user);
+        live_churn_user = fresh;
+        if (churned % 2 == 0) (void)engine.rebalance();
+      }
+      const std::size_t stop = std::min(start + batch, w.requests.size());
+      futures.clear();
+      for (std::size_t i = start; i < stop; ++i) {
+        // The churned tenant serves live traffic too — it takes over the
+        // first request of each wave, keeping every wave exactly `batch`
+        // wide (a 17th submit would straggle behind the min_batch
+        // coalescing window and the p95 would measure that stall, not the
+        // churn operations).
+        const bool redirect =
+            churn && i == start && live_churn_user != static_cast<std::size_t>(-1);
+        const std::size_t user = redirect ? live_churn_user : w.requests[i].first;
+        futures.push_back(engine.submit(user, w.requests[i].second));
+      }
+      for (auto& f : futures) f.get();
+      ++wave_id;
+    }
+    const double elapsed_ms = now_ms() - t0;
+    *stats = engine.stats();
+    engine.stop();
+    return 1000.0 * static_cast<double>(stats->requests) / elapsed_ms;
+  };
+
+  // Best of two passes per mode (first doubles as warmup), symmetric, so the
+  // impact ratio compares two equally-warm runs.
+  serve::StatsSnapshot steady{}, churny{};
+  double steady_rps = 0.0, churn_rps = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    serve::StatsSnapshot s1, s2;
+    const double r1 = run_pass(false, &s1);
+    const double r2 = run_pass(true, &s2);
+    if (pass == 0 || s1.p95_latency_ms < steady.p95_latency_ms) {
+      steady = s1;
+      steady_rps = r1;
+    }
+    if (pass == 0 || s2.p95_latency_ms < churny.p95_latency_ms) {
+      churny = s2;
+      churn_rps = r2;
+    }
+  }
+
+  const double impact =
+      steady.p95_latency_ms > 0.0 ? churny.p95_latency_ms / steady.p95_latency_ms : 1.0;
+  std::printf("  %-10s %10.0f req/s   p50 %7.2f ms   p95 %7.2f ms\n", "steady", steady_rps,
+              steady.p50_latency_ms, steady.p95_latency_ms);
+  std::printf("  %-10s %10.0f req/s   p50 %7.2f ms   p95 %7.2f ms   (p95 impact %.2fx)\n",
+              "churn", churn_rps, churny.p50_latency_ms, churny.p95_latency_ms, impact);
+  std::printf("  churn ops: %zu admits, %zu evictions, %zu migrations, %zu router "
+              "refreshes, rebalance %.1f ms total\n",
+              churny.users_admitted, churny.users_evicted, churny.migrations,
+              churny.router_refreshes, churny.rebalance_ms);
+  std::fprintf(json, "    \"steady_rps\": %.0f, \"churn_rps\": %.0f,\n", steady_rps, churn_rps);
+  std::fprintf(json, "    \"steady_p95_ms\": %.3f, \"churn_p95_ms\": %.3f,\n",
+               steady.p95_latency_ms, churny.p95_latency_ms);
+  std::fprintf(json,
+               "    \"admits\": %zu, \"evictions\": %zu, \"migrations\": %zu, "
+               "\"router_refreshes\": %zu, \"rebalance_ms\": %.2f,\n",
+               churny.users_admitted, churny.users_evicted, churny.migrations,
+               churny.router_refreshes, churny.rebalance_ms);
+  std::fprintf(json, "    \"churn_p95_impact\": %.3f\n  },\n", impact);
 }
 
 double run_engine(Workload& w, std::size_t shards, std::size_t threads, std::size_t batch,
@@ -578,6 +698,7 @@ int main() {
   bench_kernel(json);
   bench_retrieval_bound(json, n_requests, n_users);
   bench_two_phase(json, n_requests, n_users);
+  bench_churn(json, n_requests, n_users);
   bench_encode_bound(json, n_requests, n_users);
 
   Workload w(WorkloadConfig{}, n_users, n_requests);

@@ -5,6 +5,12 @@
 // shards, worker threads answering a mixed stream of requests with
 // two-phase batched in-memory search (k-means candidate routing + masked
 // exact crossbar rerank) and an LRU cache of decoded prompts.
+//
+// The tenant lifecycle subsystem keeps the store mutable while serving: a
+// seventh user signs up mid-stream (admit_user programs its key columns into
+// the live crossbars and builds its router — nobody else's bits change), an
+// early user is evicted (its slot is reclaimed once in-flight batches
+// drain), and a rebalance cycle migrates slots if shard loads have skewed.
 
 #include <cstdio>
 #include <future>
@@ -39,12 +45,14 @@ int main() {
   scfg.variation = fcfg.variation;
   // Two-phase retrieval: probe every cluster (nprobe = 0) — bit-identical
   // winners, but other tenants' key columns are pruned from the crossbar
-  // pass. Lower nprobe for more pruning at a sampled-recall cost. (At this
-  // toy scale — ~5 OVTs per user, whole shards inside one 16-column
-  // accumulator block — the block-granular pruning counter reads 0%; see
-  // bench_serve's two-phase sweep for the effect at serving geometry.)
+  // pass. Lower nprobe for more pruning at a sampled-recall cost. (In
+  // lifecycle mode a full pass covers the whole provisioned capacity, so
+  // the pruned fraction counts skipped free columns too; see bench_serve's
+  // two-phase sweep for the effect at serving geometry.)
   scfg.two_phase.enabled = true;
   scfg.two_phase.nprobe = 0;
+  // Online tenant lifecycle: live admission/eviction + shard rebalancing.
+  scfg.lifecycle.enabled = true;
 
   serve::ServingEngine engine(model, task, scfg);
   std::vector<data::UserData> users;
@@ -73,12 +81,41 @@ int main() {
         sent.emplace_back(u, &q);
       }
 
-  std::size_t correct = 0, labelled = 0;
+  // ---- Lifecycle, mid-serve: a new signup, an eviction, a rebalance ----
+  // User 6 trains while the engine is busy, then joins the live store; user
+  // 0 churns out. In-flight batches keep serving against their pinned
+  // directory epoch throughout.
+  {
+    users.push_back(task.make_user(n_users, 20, 8));
+    core::FrameworkConfig cfg_u = fcfg;
+    cfg_u.seed = 1000 + n_users;
+    core::NvcimPtFramework fw(model, task, cfg_u);
+    fw.initialize_autoencoder(24);
+    fw.train_from_buffer(users[n_users].train);
+    engine.admit_user(n_users, fw.export_deployment());
+    std::printf("admitted user %zu mid-serve (%zu keys, router refreshed)\n", n_users,
+                engine.deployment(n_users).n_ovts());
+  }
+  for (const data::Sample& q : users[n_users].test) {
+    futures.push_back(engine.submit(n_users, q));
+    sent.emplace_back(n_users, &q);
+  }
+  engine.evict_user(0);
+  std::printf("evicted user 0 (slot reclaimed after in-flight batches drain)\n");
+  const std::size_t migrated = engine.rebalance();
+
+  std::size_t correct = 0, labelled = 0, shed = 0;
   for (std::size_t i = 0; i < futures.size(); ++i) {
-    const serve::Response r = futures[i].get();
-    if (r.has_label) {
-      ++labelled;
-      if (r.label == static_cast<std::size_t>(sent[i].second->label)) ++correct;
+    try {
+      const serve::Response r = futures[i].get();
+      if (r.has_label) {
+        ++labelled;
+        if (r.label == static_cast<std::size_t>(sent[i].second->label)) ++correct;
+      }
+    } catch (const Error&) {
+      // A request still queued (not yet in a batch) when its user was
+      // evicted fails with an error instead of serving stale state.
+      ++shed;
     }
   }
   engine.stop();
@@ -100,6 +137,12 @@ int main() {
     std::printf("two-phase   %zu of %zu key scores pruned (%.0f%%), sampled recall@1 %.3f\n",
                 s.candidates_possible - s.candidates_examined, s.candidates_possible,
                 100.0 * s.pruned_fraction, s.sampled_recall_at1);
+  std::printf("lifecycle   %zu admitted / %zu evicted / %zu migrated (%zu router refreshes, "
+              "rebalance %.1f ms, %zu requests shed by eviction); store now holds %zu users, "
+              "epoch %llu\n",
+              s.users_admitted, s.users_evicted, migrated, s.router_refreshes, s.rebalance_ms,
+              shed, engine.store().n_users(),
+              static_cast<unsigned long long>(engine.store().epoch()));
   if (labelled > 0)
     std::printf("accuracy    %.1f%% over %zu classified requests\n",
                 100.0 * static_cast<double>(correct) / static_cast<double>(labelled), labelled);

@@ -21,6 +21,30 @@ class Accelerator {
   /// restore with different contents.
   void store(const Matrix& keys, Rng& rng);
 
+  /// Mutable (lifecycle) storage: allocate `capacity_cols` blank key columns
+  /// (rounded up to whole subarrays) for keys of length `key_len`. Columns
+  /// are then programmed individually with program_keys(): each key gets its
+  /// OWN symmetric quantization scale and a noise stream derived from `base`
+  /// and its (subarray, column) position — so a column's stored cells are a
+  /// pure function of (key values, position, base stream), independent of
+  /// every other column and of programming order. Programming the same keys
+  /// at the same columns therefore yields bit-identical crossbars whether it
+  /// happens at build time or one admit at a time, and (re)programming one
+  /// column never perturbs the others.
+  void init_mutable(std::size_t key_len, std::size_t capacity_cols, const Rng& base);
+
+  /// Program `keys` (n × len, one key per row) into columns
+  /// [col_begin, col_begin + n). Requires init_mutable() and enough
+  /// capacity (grow first with ensure_capacity()). Reprogramming an
+  /// occupied column overwrites it.
+  void program_keys(const Matrix& keys, std::size_t col_begin);
+
+  /// Grow capacity to at least `n_cols` key columns by appending blank
+  /// column subarrays. Existing columns (cells, scales) are untouched.
+  void ensure_capacity(std::size_t n_cols);
+
+  bool mutable_mode() const { return mutable_mode_; }
+
   /// Inner products of the 1×len query against every stored key (1×n_keys),
   /// computed via crossbar MVM; result is dequantized back to float scale.
   Matrix query(const Matrix& x);
@@ -68,6 +92,11 @@ class Accelerator {
   const nvm::VariationModel& variation() const { return var_; }
 
  private:
+  /// Dequantize the integer-scale score block into `y`: one global scale in
+  /// immutable mode, per-column scales (0 for unprogrammed columns) in
+  /// mutable mode.
+  void apply_scales(Matrix& y) const;
+
   CrossbarConfig cfg_;
   nvm::VariationModel var_;
   ProgramOptions opts_;
@@ -78,6 +107,13 @@ class Accelerator {
   std::size_t row_tiles_ = 0;
   std::size_t col_tiles_ = 0;
   std::vector<Crossbar> tiles_;  ///< row-major [row_tile][col_tile]
+  // Mutable (lifecycle) mode: per-key-column quantization scales and the
+  // base noise stream that per-(subarray, column) programming streams are
+  // split from. In this mode every tile spans the full subarray width and
+  // n_keys_ is the capacity (score-row width), not the occupied count.
+  bool mutable_mode_ = false;
+  Rng base_rng_;
+  std::vector<float> col_scale_;  ///< per column; 0 until first programmed
 };
 
 }  // namespace nvcim::cim

@@ -96,6 +96,24 @@ class Crossbar {
   void program(const Matrix& int_values, const nvm::VariationModel& var, Rng& rng,
                const ProgramOptions& opts = {});
 
+  /// Allocate an unprogrammed active_rows×active_cols region: every cell is
+  /// exactly zero (it was never pulsed), so unprogrammed columns contribute
+  /// exactly zero to the MVM. The entry point of the mutable (lifecycle)
+  /// storage path — columns are then programmed individually.
+  void init_blank(std::size_t active_rows, std::size_t active_cols);
+
+  /// (Re)program one column in place. `int_values` is a 1×active_rows row
+  /// vector of exact integers. The caller owns the noise stream: passing a
+  /// per-(subarray, column) derived Rng makes the programmed cells a pure
+  /// function of (position, values, stream) — independent of programming
+  /// order and of every other column — which is what keeps untouched
+  /// columns bit-identical across admits and lets an incremental program
+  /// reproduce a from-scratch one exactly. Other columns' cells are not
+  /// touched. `verify_mask` is not supported on this path.
+  void program_column(const Matrix& int_values, std::size_t col,
+                      const nvm::VariationModel& var, Rng& rng,
+                      const ProgramOptions& opts = {});
+
   /// y = x · W for x of shape m×r (r = programmed rows). Returns m×c in the
   /// stored-integer scale. Non-const: accumulates op counters.
   Matrix matvec(const Matrix& x);
@@ -156,6 +174,13 @@ class Crossbar {
 
  private:
   double adc_quantize(double analog, double full_scale) const;
+
+  /// Program every slice (both polarities) of cell (r, c) with value `v`,
+  /// drawing noise from `rng`. Shared by whole-matrix and per-column
+  /// programming so the two paths are cell-for-cell identical given the
+  /// same streams.
+  void program_cell_slices(std::size_t r, std::size_t c, long v, const nvm::VariationModel& var,
+                           Rng& rng, const ProgramOptions& opts, bool verify);
 
   std::size_t pitch() const { return cfg_.differential ? 2 : 1; }
   std::size_t row_stride() const { return active_cols_ * pitch(); }

@@ -6,6 +6,8 @@ namespace nvcim::cim {
 
 void Accelerator::store(const Matrix& keys, Rng& rng) {
   NVCIM_CHECK_MSG(keys.rows() > 0 && keys.cols() > 0, "empty key matrix");
+  mutable_mode_ = false;
+  col_scale_.clear();
   n_keys_ = keys.rows();
   key_len_ = keys.cols();
 
@@ -33,6 +35,99 @@ void Accelerator::store(const Matrix& keys, Rng& rng) {
   }
 }
 
+void Accelerator::init_mutable(std::size_t key_len, std::size_t capacity_cols, const Rng& base) {
+  NVCIM_CHECK_MSG(key_len > 0 && capacity_cols > 0, "empty mutable store");
+  mutable_mode_ = true;
+  base_rng_ = base;
+  key_len_ = key_len;
+  row_tiles_ = (key_len_ + cfg_.rows - 1) / cfg_.rows;
+  // Capacity rounds up to whole subarrays and every tile spans the full
+  // column width: appending capacity later only ever APPENDS tiles, so the
+  // cell layout (and hence the MVM arithmetic) of existing columns is
+  // invariant under growth.
+  col_tiles_ = (capacity_cols + cfg_.cols - 1) / cfg_.cols;
+  n_keys_ = col_tiles_ * cfg_.cols;
+  col_scale_.assign(n_keys_, 0.0f);
+  keys_ref_ = Matrix(n_keys_, key_len_, 0.0f);
+  tiles_.clear();
+  tiles_.reserve(row_tiles_ * col_tiles_);
+  for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+    const std::size_t r0 = rt * cfg_.rows;
+    const std::size_t r1 = std::min(r0 + cfg_.rows, key_len_);
+    for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
+      Crossbar xb(cfg_);
+      xb.init_blank(r1 - r0, cfg_.cols);
+      tiles_.push_back(std::move(xb));
+    }
+  }
+}
+
+void Accelerator::ensure_capacity(std::size_t n_cols) {
+  NVCIM_CHECK_MSG(mutable_mode_, "ensure_capacity requires init_mutable");
+  if (n_cols <= n_keys_) return;
+  const std::size_t new_ct = (n_cols + cfg_.cols - 1) / cfg_.cols;
+  std::vector<Crossbar> grown;
+  grown.reserve(row_tiles_ * new_ct);
+  for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+    const std::size_t r0 = rt * cfg_.rows;
+    const std::size_t r1 = std::min(r0 + cfg_.rows, key_len_);
+    for (std::size_t ct = 0; ct < col_tiles_; ++ct)
+      grown.push_back(std::move(tiles_[rt * col_tiles_ + ct]));
+    for (std::size_t ct = col_tiles_; ct < new_ct; ++ct) {
+      Crossbar xb(cfg_);
+      xb.init_blank(r1 - r0, cfg_.cols);
+      grown.push_back(std::move(xb));
+    }
+  }
+  tiles_ = std::move(grown);
+  col_tiles_ = new_ct;
+  n_keys_ = col_tiles_ * cfg_.cols;
+  col_scale_.resize(n_keys_, 0.0f);
+  Matrix ref(n_keys_, key_len_, 0.0f);
+  std::copy(keys_ref_.data(), keys_ref_.data() + keys_ref_.size(), ref.data());
+  keys_ref_ = std::move(ref);
+}
+
+void Accelerator::program_keys(const Matrix& keys, std::size_t col_begin) {
+  NVCIM_CHECK_MSG(mutable_mode_, "program_keys requires init_mutable");
+  NVCIM_CHECK_MSG(keys.rows() > 0 && keys.cols() == key_len_,
+                  "keys must be Nx" << key_len_);
+  NVCIM_CHECK_MSG(col_begin + keys.rows() <= n_keys_,
+                  "columns [" << col_begin << ", " << col_begin + keys.rows()
+                              << ") exceed capacity " << n_keys_);
+  Matrix seg;
+  for (std::size_t j = 0; j < keys.rows(); ++j) {
+    const std::size_t col = col_begin + j;
+    const QuantizedMatrix q =
+        quantize_symmetric(keys.row(j), static_cast<int>(cfg_.value_bits));
+    col_scale_[col] = q.scale;
+    for (std::size_t i = 0; i < key_len_; ++i) keys_ref_(col, i) = q.q(0, i) * q.scale;
+    const std::size_t ct = col / cfg_.cols;
+    for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+      const std::size_t r0 = rt * cfg_.rows;
+      const std::size_t r1 = std::min(r0 + cfg_.rows, key_len_);
+      seg.resize(1, r1 - r0);
+      for (std::size_t i = r0; i < r1; ++i) seg(0, i - r0) = q.q(0, i);
+      // One stream per (subarray row band, global column): the draw
+      // sequence for a column's cells never depends on what else is or was
+      // programmed — the bit-identity anchor of the lifecycle path.
+      Rng col_rng = base_rng_.split(rt * 0x100000001B3ull + col);
+      tiles_[rt * col_tiles_ + ct].program_column(seg, col % cfg_.cols, var_, col_rng, opts_);
+    }
+  }
+}
+
+void Accelerator::apply_scales(Matrix& y) const {
+  if (!mutable_mode_) {
+    y *= scale_;
+    return;
+  }
+  for (std::size_t b = 0; b < y.rows(); ++b) {
+    float* row = y.data() + b * y.cols();
+    for (std::size_t c = 0; c < y.cols(); ++c) row[c] *= col_scale_[c];
+  }
+}
+
 Matrix Accelerator::query(const Matrix& x) {
   NVCIM_CHECK_MSG(!tiles_.empty(), "no keys stored");
   NVCIM_CHECK_MSG(x.rows() == 1 && x.cols() == key_len_,
@@ -48,7 +143,8 @@ Matrix Accelerator::query(const Matrix& x) {
       for (std::size_t c = 0; c < part.cols(); ++c) y(0, c0 + c) += part(0, c);
     }
   }
-  return y * scale_;
+  apply_scales(y);
+  return y;
 }
 
 Matrix Accelerator::query_batch(const Matrix& x) {
@@ -64,7 +160,13 @@ void Accelerator::query_batch_into(const Matrix& x, Matrix& y, BatchScratch& scr
   NVCIM_CHECK_MSG(x.rows() >= 1 && x.cols() == key_len_,
                   "queries must be Bx" << key_len_);
   if (candidates != nullptr) {
-    NVCIM_CHECK_MSG(candidates->n_queries == x.rows() && candidates->n_keys == n_keys_,
+    // Only a mutable store may be QUERIED wider than the bitmap (capacity
+    // grown after a batch routed against an earlier epoch — the extra
+    // columns are never candidates); an immutable store with a mismatched
+    // bitmap is a caller bug and keeps the hard equality check.
+    NVCIM_CHECK_MSG(candidates->n_queries == x.rows() &&
+                        (candidates->n_keys == n_keys_ ||
+                         (mutable_mode_ && candidates->n_keys <= n_keys_)),
                     "candidate set is " << candidates->n_queries << "x" << candidates->n_keys
                                         << ", expected " << x.rows() << "x" << n_keys_);
   }
@@ -76,7 +178,8 @@ void Accelerator::query_batch_into(const Matrix& x, Matrix& y, BatchScratch& scr
     scratch.col_tile_needed.assign(col_tiles_, 0);
     for (std::size_t ct = 0; ct < col_tiles_; ++ct) {
       const std::size_t c0 = ct * cfg_.cols;
-      const std::size_t c1 = std::min(c0 + cfg_.cols, n_keys_);
+      const std::size_t c1 = std::min({c0 + cfg_.cols, n_keys_, candidates->n_keys});
+      if (c0 >= c1) continue;  // tile fully beyond the bitmap: never needed
       for (std::size_t b = 0; b < x.rows() && scratch.col_tile_needed[ct] == 0; ++b)
         scratch.col_tile_needed[ct] = candidates->any_in_range(b, c0, c1) ? 1 : 0;
     }
@@ -102,7 +205,7 @@ void Accelerator::query_batch_into(const Matrix& x, Matrix& y, BatchScratch& scr
         for (std::size_t c = 0; c < part.cols(); ++c) y(b, c0 + c) += part(b, c);
     }
   }
-  y *= scale_;
+  apply_scales(y);
 }
 
 Matrix Accelerator::query_ideal(const Matrix& x) const {

@@ -7,6 +7,44 @@
 
 namespace nvcim::cim {
 
+void Crossbar::program_cell_slices(std::size_t r, std::size_t c, long v,
+                                   const nvm::VariationModel& var, Rng& rng,
+                                   const ProgramOptions& opts, bool verify) {
+  const std::size_t S = cfg_.n_slices();
+  const long level_mask = static_cast<long>(cfg_.levels()) - 1;
+  const double denorm = static_cast<double>(cfg_.levels() - 1);
+  long pos = v > 0 ? v : 0;
+  long neg = v < 0 ? -v : 0;
+  if (!cfg_.differential) {
+    NVCIM_CHECK_MSG(v >= 0, "non-differential crossbar requires non-negative values");
+    neg = 0;
+  }
+  for (std::size_t s = 0; s < S; ++s) {
+    const long pn = (pos >> (s * cfg_.bits_per_cell)) & level_mask;
+    const long nn = (neg >> (s * cfg_.bits_per_cell)) & level_mask;
+    auto program_one = [&](long nibble) -> double {
+      const double normalized = static_cast<double>(nibble) / denorm;
+      if (verify) {
+        auto wv = nvm::write_verify_cell(normalized, var, rng, opts.verify_tolerance,
+                                         opts.max_write_iterations);
+        counters_.write_pulses += wv.pulses;
+        return wv.conductance * denorm;
+      }
+      counters_.write_pulses += 1;
+      return nvm::program_cell(normalized, var, rng) * denorm;
+    };
+    float* cell = cells_.data() + s * slice_stride() + r * row_stride() + c * pitch();
+    cell[0] = static_cast<float>(program_one(pn));
+    if (cfg_.differential) cell[1] = static_cast<float>(program_one(nn));
+    if (cell[0] != 0.0f || (cfg_.differential && cell[1] != 0.0f)) slice_zero_[s] = 0;
+    if (cfg_.reference_kernel) {
+      pos_planes_[s](r, c) = cell[0];
+      if (cfg_.differential) neg_planes_[s](r, c) = cell[1];
+    }
+    counters_.cells_programmed += cfg_.differential ? 2 : 1;
+  }
+}
+
 void Crossbar::program(const Matrix& int_values, const nvm::VariationModel& var, Rng& rng,
                        const ProgramOptions& opts) {
   NVCIM_CHECK_MSG(int_values.rows() <= cfg_.rows && int_values.cols() <= cfg_.cols,
@@ -14,19 +52,42 @@ void Crossbar::program(const Matrix& int_values, const nvm::VariationModel& var,
                             << " exceeds subarray " << cfg_.rows << "x" << cfg_.cols);
   NVCIM_CHECK_MSG(var.device.n_levels == cfg_.levels(),
                   "device level count must match bits_per_cell");
-  active_rows_ = int_values.rows();
-  active_cols_ = int_values.cols();
+  init_blank(int_values.rows(), int_values.cols());
   reference_ = int_values;
 
-  const std::size_t S = cfg_.n_slices();
-  const long level_mask = static_cast<long>(cfg_.levels()) - 1;
-  const double denorm = static_cast<double>(cfg_.levels() - 1);
   const long vmax = qmax_for_bits(static_cast<int>(cfg_.value_bits));
+  for (std::size_t r = 0; r < active_rows_; ++r) {
+    for (std::size_t c = 0; c < active_cols_; ++c) {
+      const double vf = int_values(r, c);
+      NVCIM_CHECK_MSG(std::fabs(vf - std::round(vf)) < 1e-3,
+                      "crossbar expects integer-valued entries");
+      const long v = static_cast<long>(std::llround(vf));
+      NVCIM_CHECK_MSG(std::labs(v) <= vmax, "value " << v << " exceeds int" << cfg_.value_bits);
+      const bool verify =
+          opts.verify_tolerance > 0.0 &&
+          (opts.verify_mask == nullptr || (*opts.verify_mask)(r, c) > 0.0f);
+      program_cell_slices(r, c, v, var, rng, opts, verify);
+    }
+  }
+}
 
+void Crossbar::init_blank(std::size_t active_rows, std::size_t active_cols) {
+  NVCIM_CHECK_MSG(active_rows > 0 && active_rows <= cfg_.rows &&
+                      active_cols > 0 && active_cols <= cfg_.cols,
+                  "region " << active_rows << "x" << active_cols << " exceeds subarray "
+                            << cfg_.rows << "x" << cfg_.cols);
+  active_rows_ = active_rows;
+  active_cols_ = active_cols;
+  const std::size_t S = cfg_.n_slices();
   cells_.assign(S * slice_stride(), 0.0f);
   slice_shift_.resize(S);
   for (std::size_t s = 0; s < S; ++s)
     slice_shift_[s] = std::ldexp(1.0, static_cast<int>(s * cfg_.bits_per_cell));
+  // Every cell is exactly zero (never pulsed): all slices start elided.
+  // program_cell_slices clears a slice's flag the moment a nonzero analog
+  // level lands in it — monotonic, so the flag is only ever conservative.
+  slice_zero_.assign(S, 1);
+  reference_ = Matrix(active_rows_, active_cols_, 0.0f);
   if (cfg_.reference_kernel) {
     pos_planes_.assign(S, Matrix(active_rows_, active_cols_, 0.0f));
     neg_planes_.assign(S, Matrix(active_rows_, active_cols_, 0.0f));
@@ -34,62 +95,29 @@ void Crossbar::program(const Matrix& int_values, const nvm::VariationModel& var,
     pos_planes_.clear();
     neg_planes_.clear();
   }
+}
 
+void Crossbar::program_column(const Matrix& int_values, std::size_t col,
+                              const nvm::VariationModel& var, Rng& rng,
+                              const ProgramOptions& opts) {
+  NVCIM_CHECK_MSG(active_rows_ > 0, "crossbar region not initialized");
+  NVCIM_CHECK_MSG(col < active_cols_, "column " << col << " out of range");
+  NVCIM_CHECK_MSG(int_values.rows() == 1 && int_values.cols() == active_rows_,
+                  "column values must be 1x" << active_rows_);
+  NVCIM_CHECK_MSG(var.device.n_levels == cfg_.levels(),
+                  "device level count must match bits_per_cell");
+  NVCIM_CHECK_MSG(opts.verify_mask == nullptr,
+                  "verify_mask is not supported on the per-column path");
+  const long vmax = qmax_for_bits(static_cast<int>(cfg_.value_bits));
+  const bool verify = opts.verify_tolerance > 0.0;
   for (std::size_t r = 0; r < active_rows_; ++r) {
-    for (std::size_t c = 0; c < active_cols_; ++c) {
-      const double vf = int_values(r, c);
-      NVCIM_CHECK_MSG(std::fabs(vf - std::round(vf)) < 1e-3,
-                      "crossbar expects integer-valued entries");
-      long v = static_cast<long>(std::llround(vf));
-      NVCIM_CHECK_MSG(std::labs(v) <= vmax, "value " << v << " exceeds int" << cfg_.value_bits);
-      long pos = v > 0 ? v : 0;
-      long neg = v < 0 ? -v : 0;
-      if (!cfg_.differential) {
-        NVCIM_CHECK_MSG(v >= 0, "non-differential crossbar requires non-negative values");
-        neg = 0;
-      }
-      const bool verify =
-          opts.verify_tolerance > 0.0 &&
-          (opts.verify_mask == nullptr || (*opts.verify_mask)(r, c) > 0.0f);
-      for (std::size_t s = 0; s < S; ++s) {
-        const long pn = (pos >> (s * cfg_.bits_per_cell)) & level_mask;
-        const long nn = (neg >> (s * cfg_.bits_per_cell)) & level_mask;
-        auto program_one = [&](long nibble) -> double {
-          const double normalized = static_cast<double>(nibble) / denorm;
-          if (verify) {
-            auto wv = nvm::write_verify_cell(normalized, var, rng, opts.verify_tolerance,
-                                             opts.max_write_iterations);
-            counters_.write_pulses += wv.pulses;
-            return wv.conductance * denorm;
-          }
-          counters_.write_pulses += 1;
-          return nvm::program_cell(normalized, var, rng) * denorm;
-        };
-        float* cell = cells_.data() + s * slice_stride() + r * row_stride() + c * pitch();
-        cell[0] = static_cast<float>(program_one(pn));
-        if (cfg_.differential) cell[1] = static_cast<float>(program_one(nn));
-        if (cfg_.reference_kernel) {
-          pos_planes_[s](r, c) = cell[0];
-          if (cfg_.differential) neg_planes_[s](r, c) = cell[1];
-        }
-        counters_.cells_programmed += cfg_.differential ? 2 : 1;
-      }
-    }
-  }
-
-  // A slice whose every analog level is exactly zero contributes exactly
-  // zero to the MVM (the ADC maps 0 → 0), so the kernels skip it. Noise
-  // makes this fire only for noiseless programming of small-magnitude
-  // values, where the high slices stay empty.
-  slice_zero_.assign(S, 1);
-  for (std::size_t s = 0; s < S; ++s) {
-    const float* plane = cells_.data() + s * slice_stride();
-    for (std::size_t i = 0; i < slice_stride(); ++i) {
-      if (plane[i] != 0.0f) {
-        slice_zero_[s] = 0;
-        break;
-      }
-    }
+    const double vf = int_values(0, r);
+    NVCIM_CHECK_MSG(std::fabs(vf - std::round(vf)) < 1e-3,
+                    "crossbar expects integer-valued entries");
+    const long v = static_cast<long>(std::llround(vf));
+    NVCIM_CHECK_MSG(std::labs(v) <= vmax, "value " << v << " exceeds int" << cfg_.value_bits);
+    reference_(r, col) = static_cast<float>(v);
+    program_cell_slices(r, col, v, var, rng, opts, verify);
   }
 }
 
@@ -223,7 +251,11 @@ void Crossbar::fused_matvec(const Matrix& x, Matrix& y, const CandidateSet* cand
       for (std::size_t bk = 0; bk < n_blocks; ++bk) {
         const std::size_t c_lo = bk * kBlk / P;
         const std::size_t c_hi = std::min(active_cols_, ((bk + 1) * kBlk + P - 1) / P);
-        if (candidates->any_in_range(m, col_offset + c_lo, col_offset + c_hi)) {
+        // Columns beyond the candidate set's width (possible when a mutable
+        // store grew after the bitmap was routed) are never candidates.
+        const std::size_t k_lo = col_offset + c_lo;
+        const std::size_t k_hi = std::min(col_offset + c_hi, candidates->n_keys);
+        if (k_lo < k_hi && candidates->any_in_range(m, k_lo, k_hi)) {
           block_need_[m * n_blocks + bk] = 1;
           computed_cols += c_hi - c_lo;
         }
@@ -344,8 +376,10 @@ void Crossbar::matvec_batch_into(const Matrix& x, Matrix& y, const CandidateSet*
     NVCIM_CHECK_MSG(candidates->n_queries == x.rows(),
                     "candidate set covers " << candidates->n_queries << " queries, batch has "
                                             << x.rows());
-    NVCIM_CHECK_MSG(col_offset + active_cols_ <= candidates->n_keys,
-                    "candidate set narrower than subarray columns");
+    // The candidate set may be NARROWER than this subarray's column span: a
+    // mutable store can grow capacity after a batch routed its bitmaps
+    // against an earlier epoch. Columns beyond n_keys are simply never
+    // candidates (they belong to users admitted after the batch pinned).
   }
   if (cfg_.reference_kernel) {
     y = matvec_batch_reference(x);  // full-compute baseline: mask ignored

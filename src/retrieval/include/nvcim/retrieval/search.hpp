@@ -46,6 +46,25 @@ class CimRetriever {
   /// first). Reprogramming with a new set replaces the old one.
   void store(const std::vector<Matrix>& keys, Rng& rng);
 
+  /// Mutable (lifecycle) storage: create empty per-scale banks sized for
+  /// `capacity` keys of `key_size` flattened elements. Keys are then
+  /// programmed column-by-column with program_keys() — each key carries its
+  /// own quantization scale and a position-derived noise stream, so
+  /// programming the same keys at the same columns is bit-identical whether
+  /// it happens in one pass or incrementally, and untouched columns never
+  /// change. n_keys() reports the capacity (score-row width) in this mode.
+  void store_mutable(std::size_t key_size, std::size_t capacity, const Rng& rng);
+
+  /// Program `keys` into key columns [col_begin, col_begin + keys.size())
+  /// of every scale bank (each key pooled per scale first, exactly as
+  /// store() lays keys out). Requires store_mutable() and capacity.
+  void program_keys(std::size_t col_begin, const std::vector<Matrix>& keys);
+
+  /// Grow mutable capacity to at least `n` key columns (whole subarrays).
+  void ensure_capacity(std::size_t n);
+
+  bool mutable_mode() const { return mutable_mode_; }
+
   /// Similarity score of the query against every stored key.
   Matrix scores(const Matrix& query);
   /// Index of the best-scoring key.
@@ -85,7 +104,10 @@ class CimRetriever {
   cim::OpCounters counters() const;
 
  private:
+  void init_bank_layout();
+
   Config cfg_;
+  bool mutable_mode_ = false;
   std::size_t n_keys_ = 0;
   std::size_t key_size_ = 0;
   // One accelerator per scale (MIPS uses a single scale-1 bank).

@@ -45,13 +45,7 @@ std::size_t ssa_retrieve_exact(const Matrix& query, const std::vector<Matrix>& k
   return best;
 }
 
-void CimRetriever::store(const std::vector<Matrix>& keys, Rng& rng) {
-  NVCIM_CHECK_MSG(!keys.empty(), "no keys to store");
-  n_keys_ = keys.size();
-  key_size_ = keys[0].size();
-  for (const Matrix& k : keys)
-    NVCIM_CHECK_MSG(k.size() == key_size_, "keys must share a common size");
-
+void CimRetriever::init_bank_layout() {
   bank_scales_.clear();
   bank_weights_.clear();
   if (cfg_.algorithm == Algorithm::MIPS) {
@@ -62,7 +56,17 @@ void CimRetriever::store(const std::vector<Matrix>& keys, Rng& rng) {
     bank_scales_ = cfg_.ssa.scales;
     bank_weights_ = cfg_.ssa.weights;
   }
+}
 
+void CimRetriever::store(const std::vector<Matrix>& keys, Rng& rng) {
+  NVCIM_CHECK_MSG(!keys.empty(), "no keys to store");
+  mutable_mode_ = false;
+  n_keys_ = keys.size();
+  key_size_ = keys[0].size();
+  for (const Matrix& k : keys)
+    NVCIM_CHECK_MSG(k.size() == key_size_, "keys must share a common size");
+
+  init_bank_layout();
   banks_.clear();
   for (std::size_t b = 0; b < bank_scales_.size(); ++b) {
     const std::size_t scale = bank_scales_[b];
@@ -75,6 +79,47 @@ void CimRetriever::store(const std::vector<Matrix>& keys, Rng& rng) {
     acc->store(pooled_keys, bank_rng);
     banks_.push_back(std::move(acc));
   }
+}
+
+void CimRetriever::store_mutable(std::size_t key_size, std::size_t capacity, const Rng& rng) {
+  NVCIM_CHECK_MSG(key_size > 0 && capacity > 0, "empty mutable store");
+  mutable_mode_ = true;
+  key_size_ = key_size;
+  init_bank_layout();
+  banks_.clear();
+  for (std::size_t b = 0; b < bank_scales_.size(); ++b) {
+    const std::size_t scale = bank_scales_[b];
+    const std::size_t pooled_len = (key_size_ + scale - 1) / scale;
+    auto acc = std::make_unique<cim::Accelerator>(cfg_.crossbar, cfg_.variation, cfg_.program);
+    // Same per-bank stream derivation as store(), so a mutable store seeded
+    // identically programs identical noise at identical positions.
+    acc->init_mutable(pooled_len, capacity, rng.split(0xB00Bull + b));
+    banks_.push_back(std::move(acc));
+  }
+  n_keys_ = banks_[0]->n_keys();  // capacity rounded up to whole subarrays
+}
+
+void CimRetriever::program_keys(std::size_t col_begin, const std::vector<Matrix>& keys) {
+  NVCIM_CHECK_MSG(mutable_mode_, "program_keys requires store_mutable");
+  NVCIM_CHECK_MSG(!keys.empty(), "no keys to program");
+  for (const Matrix& k : keys)
+    NVCIM_CHECK_MSG(k.size() == key_size_, "keys must share a common size");
+  NVCIM_CHECK_MSG(col_begin + keys.size() <= n_keys_,
+                  "columns exceed capacity " << n_keys_ << " — grow with ensure_capacity()");
+  for (std::size_t b = 0; b < banks_.size(); ++b) {
+    const std::size_t scale = bank_scales_[b];
+    const std::size_t pooled_len = (key_size_ + scale - 1) / scale;
+    Matrix pooled(keys.size(), pooled_len);
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      pooled.set_row(i, average_pool_flat(keys[i], scale));
+    banks_[b]->program_keys(pooled, col_begin);
+  }
+}
+
+void CimRetriever::ensure_capacity(std::size_t n) {
+  NVCIM_CHECK_MSG(mutable_mode_, "ensure_capacity requires store_mutable");
+  for (auto& bank : banks_) bank->ensure_capacity(n);
+  n_keys_ = banks_[0]->n_keys();
 }
 
 Matrix CimRetriever::scores(const Matrix& query) {

@@ -8,8 +8,10 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "nvcim/core/framework.hpp"
@@ -46,6 +48,10 @@ struct ServingConfig {
   /// still skipped; smaller nprobe trades recall for pruned crossbar work
   /// (see EngineStats::pruned_fraction / sampled_recall_at1).
   TwoPhaseConfig two_phase;
+  /// Online tenant lifecycle: admit_user()/evict_user()/rebalance() while
+  /// serving, over an epoch-versioned mutable store. Off by default — the
+  /// build-once PR 4 store.
+  LifecycleConfig lifecycle;
   retrieval::Algorithm algorithm = retrieval::Algorithm::SSA;
   retrieval::ScaledSearchConfig ssa;
   cim::CrossbarConfig crossbar;
@@ -112,8 +118,35 @@ class ServingEngine {
   /// containing the request.
   std::future<Response> submit(std::size_t user_id, data::Sample query);
 
+  /// Non-blocking admission control: like submit(), but when the bounded
+  /// queue is full the request is REJECTED instead of blocking the caller —
+  /// returns std::nullopt (the engine is Overloaded) and bumps
+  /// EngineStats::rejected_requests. The first step past pure blocking
+  /// backpressure: callers can shed or retry with their own policy.
+  std::optional<std::future<Response>> try_submit(std::size_t user_id, data::Sample query);
+
   /// Synchronous convenience: submit and wait.
   Response serve(std::size_t user_id, const data::Sample& query);
+
+  // ---- Online tenant lifecycle (requires ServingConfig::lifecycle) ----
+
+  /// Admit a user while serving: program its keys into the live store (new
+  /// epoch; in-flight batches are untouched) and take ownership of the
+  /// deployment. Before start() this is equivalent to add_deployment().
+  void admit_user(std::size_t user_id, core::TrainedDeployment deployment);
+
+  /// Evict a user while serving: unpublish its slot (freed columns are
+  /// reused only after in-flight readers drain), drop the deployment and
+  /// purge its decoded prompts from the LRU. In-flight requests for the
+  /// user still complete against their pinned epoch; new submits throw.
+  void evict_user(std::size_t user_id);
+
+  /// One rebalance cycle: plan migrations from overloaded to underloaded
+  /// shards and execute them as aux tasks on the worker pool (workers
+  /// interleave them with serving batches — no quiesce). Blocks until the
+  /// cycle completes; returns the number of users migrated. Wall-clock and
+  /// counts land in EngineStats (migrations, rebalance_ms).
+  std::size_t rebalance();
 
   /// Serial reference path used by tests: same banks, same arithmetic, no
   /// queue/threads/cache.
@@ -122,7 +155,7 @@ class ServingEngine {
   /// Decoded prompt for (user, ovt) through the LRU cache.
   std::shared_ptr<const Matrix> prompt(std::size_t user_id, std::size_t ovt_index);
 
-  std::size_t n_users() const { return deployments_.size(); }
+  std::size_t n_users() const;
   const ShardedOvtStore& store() const { return store_; }
   const core::TrainedDeployment& deployment(std::size_t user_id) const;
   StatsSnapshot stats() const { return stats_.snapshot(); }
@@ -140,6 +173,16 @@ class ServingEngine {
     data::Sample query;
     std::chrono::steady_clock::time_point enqueued;
     std::promise<Response> promise;
+  };
+
+  /// One user's pinned serving state: the deployment (shared_ptr — eviction
+  /// drops the map entry, in-flight batches keep theirs alive) and its
+  /// admission generation. Decoded-prompt cache keys use the generation,
+  /// never the raw user id, so a re-admitted user id can never alias a
+  /// stale cache entry or a late single-flight insert from its predecessor.
+  struct DepRef {
+    std::shared_ptr<const core::TrainedDeployment> dep;
+    std::uint64_t generation = 0;
   };
 
   /// Per-worker reusable buffers: the encode-path scratch (embeddings,
@@ -184,7 +227,10 @@ class ServingEngine {
 
   void worker_loop();
   void process_batch(std::vector<Pending>&& batch, WorkerState& ws);
-  std::shared_ptr<const Matrix> prompt_locked_fetch(std::size_t user_id, std::size_t ovt_index,
+  /// Pinned deployment ref for `user_id`, or an empty DepRef when the user
+  /// is gone (evicted between submit and batch assembly).
+  DepRef find_deployment(std::size_t user_id) const;
+  std::shared_ptr<const Matrix> prompt_locked_fetch(const DepRef& ref, std::size_t ovt_index,
                                                     bool* was_hit,
                                                     compress::Autoencoder::Scratch* scratch);
   /// Publish one finished decode: cache the value (best-effort), retire the
@@ -200,7 +246,9 @@ class ServingEngine {
   const data::LampTask* task_;
   ServingConfig cfg_;
   ShardedOvtStore store_;
-  std::unordered_map<std::size_t, core::TrainedDeployment> deployments_;
+  mutable std::mutex deployments_mu_;  ///< guards deployments_/next_generation_
+  std::unordered_map<std::size_t, DepRef> deployments_;
+  std::uint64_t next_generation_ = 0;
   std::size_t rep_size_ = 0;  ///< flattened query-representation width
 
   mutable std::mutex cache_mu_;
@@ -209,6 +257,11 @@ class ServingEngine {
   std::unordered_map<std::pair<std::size_t, std::size_t>, std::shared_ptr<InFlightDecode>,
                      UserKeyHash>
       inflight_;  ///< guarded by cache_mu_
+  /// Admission generations of the currently-deployed users (guarded by
+  /// cache_mu_): a decode that completes AFTER its user was evicted must
+  /// not re-insert into the LRU — its generation is gone from this set, so
+  /// the value is delivered to its waiters but never cached.
+  std::unordered_set<std::uint64_t> live_generations_;
   std::atomic<std::size_t> prompt_decodes_{0};
   std::atomic<std::size_t> coalesced_fetches_{0};
   /// Routed shard passes so far — drives the recall-vs-exact sampling cadence.

@@ -54,6 +54,24 @@ class LruCache {
 
   bool contains(const Key& key) const { return map_.count(key) > 0; }
 
+  /// Drop every entry whose key matches `pred`; returns how many were
+  /// dropped. Used by tenant eviction to purge a user's decoded prompts
+  /// (dropped entries do not count as capacity evictions).
+  template <typename Pred>
+  std::size_t erase_if(Pred pred) {
+    std::size_t dropped = 0;
+    for (auto it = order_.begin(); it != order_.end();) {
+      if (pred(it->first)) {
+        map_.erase(it->first);
+        it = order_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
+  }
+
   std::size_t size() const { return order_.size(); }
   std::size_t capacity() const { return capacity_; }
   std::size_t hits() const { return hits_; }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -7,6 +8,7 @@
 
 #include "nvcim/cluster/kmeans.hpp"
 #include "nvcim/retrieval/search.hpp"
+#include "nvcim/serve/lifecycle.hpp"
 
 namespace nvcim::serve {
 
@@ -46,6 +48,9 @@ struct OvtStoreConfig {
   nvm::VariationModel variation;
   cim::ProgramOptions program;
   TwoPhaseConfig two_phase;
+  /// Online tenant lifecycle: mutable post-build store (admit/evict/
+  /// rebalance while serving) behind an epoch-versioned directory.
+  LifecycleConfig lifecycle;
 };
 
 /// Multi-tenant OVT key store: packs many users' encoded prompt keys into a
@@ -61,19 +66,32 @@ struct OvtStoreConfig {
 /// route_candidates() then ranks centroids per query through the sketches
 /// and emits candidate bitmaps the masked scoring path consumes.
 ///
+/// With LifecycleConfig::enabled, the store stays mutable after build():
+///   - user → slot/router state lives in an epoch-versioned TenantDirectory
+///     (immutable snapshots, copy-on-write publishes); in-flight batches
+///     pin() one snapshot and serve every stage against it;
+///   - admit_user() allocates a slot (least-loaded shard, block-aligned when
+///     routing benefits), programs the new key columns into the shard's
+///     crossbars — per-key quantization scales and per-(subarray, column)
+///     noise streams make the result bit-identical to a from-scratch build
+///     containing the user, without touching any other column — builds the
+///     user's candidate router, and publishes a new epoch;
+///   - evict_user() unpublishes the slot; the columns are reprogrammed only
+///     after every reader pinned to an older epoch drains (epoch-based slot
+///     reclamation in SlotAllocator);
+///   - migrate_user()/plan_rebalance() move slot ranges from overloaded to
+///     underloaded shards with the same program-then-publish-then-free
+///     protocol, so serving never quiesces.
+///
 /// Thread-safety: per-shard mutexes — queries against different shards
 /// proceed concurrently; queries against one shard serialize (the crossbar
-/// op counters make bank reads non-const). Routing reads immutable
-/// post-build state and needs no lock.
+/// op counters make bank reads non-const), and lifecycle programming of a
+/// shard excludes its queries for the duration of the column writes only.
+/// Lifecycle mutations serialize on one store-level mutex. Routing reads an
+/// immutable snapshot and needs no lock.
 class ShardedOvtStore {
  public:
-  /// A user's placement: shard index plus its key range within the shard.
-  struct UserSlot {
-    std::size_t shard = 0;
-    std::size_t begin = 0;  ///< first key index within the shard
-    std::size_t end = 0;    ///< one past the last key index
-    std::size_t n_keys() const { return end - begin; }
-  };
+  using UserSlot = serve::UserSlot;
 
   /// Reusable phase-1 buffers (one per serving worker): the sketched query
   /// row, per-centroid scores, the centroid ranking order and the candidate
@@ -89,7 +107,9 @@ class ShardedOvtStore {
   explicit ShardedOvtStore(OvtStoreConfig cfg);
 
   /// Register a user's retrieval keys (all users must share one key shape).
-  /// Must precede build(); user ids are unique.
+  /// Before build(): records the user for the initial build. After build():
+  /// hard error without the lifecycle subsystem; with it, forwards to
+  /// admit_user() — the live-admission path.
   void add_user(std::size_t user_id, const std::vector<Matrix>& keys);
 
   /// Program every shard's crossbar banks (and, with two-phase retrieval
@@ -97,31 +117,84 @@ class ShardedOvtStore {
   /// registration.
   void build(Rng& rng);
   bool built() const { return built_; }
+  bool lifecycle() const { return cfg_.lifecycle.enabled; }
+
+  // ---- Online tenant lifecycle (requires LifecycleConfig::enabled) ----
+
+  /// Admit a user while serving: allocate a slot, program the keys into the
+  /// target shard's crossbars, build the candidate router (two-phase), and
+  /// publish a new directory epoch. The user's retrieval results are
+  /// bit-identical to a from-scratch build that placed it in the same slot,
+  /// and no other user's scores change.
+  void admit_user(std::size_t user_id, const std::vector<Matrix>& keys);
+
+  /// Evict a user: unpublish its slot and router. The key columns are left
+  /// in place (in-flight batches pinned to older epochs may still read
+  /// them) and become reusable once those readers drain.
+  void evict_user(std::size_t user_id);
+
+  /// Move one user's slot to `to_shard`: program its keys there, republish
+  /// the directory, free the old range (epoch-deferred). The router is
+  /// untouched — cluster membership is slot-local. The user's post-move
+  /// results are bit-identical to a from-scratch build with that placement.
+  void migrate_user(std::size_t user_id, std::size_t to_shard);
+
+  /// Deterministic migration plan moving users from overloaded to
+  /// underloaded shards (see LifecycleConfig::rebalance_tolerance).
+  std::vector<Migration> plan_rebalance() const;
+
+  /// Pin the current directory epoch: the returned view is immutable and
+  /// defers reuse of any slot freed after it was taken. One per batch.
+  PinnedDirectory pin() const;
+  std::uint64_t epoch() const { return directory_.epoch(); }
+
+  /// Occupied key columns of one shard (allocated slots, not capacity).
+  std::size_t shard_occupied(std::size_t shard) const;
+  /// Candidate routers (re)built after the initial build() — admits and
+  /// explicit refreshes. Per-user routers make the refresh inherently
+  /// incremental: membership changes never re-cluster other tenants.
+  std::size_t router_refreshes() const;
+
+  // ---- Shared query-path API (legacy + lifecycle) ----
 
   std::size_t n_shards() const { return shards_.size(); }
-  std::size_t n_users() const { return slots_.size(); }
+  std::size_t n_users() const;
   std::size_t n_keys() const;
-  /// Keys packed into one shard (0 for an empty shard). Valid after build().
+  /// Score-row width of one shard: the packed key count after a legacy
+  /// build(), the crossbar capacity (occupied + free columns) of a
+  /// lifecycle store. 0 for an empty shard. Valid after build().
   std::size_t shard_keys(std::size_t shard) const;
-  bool has_user(std::size_t user_id) const { return slots_.count(user_id) > 0; }
-  const UserSlot& slot(std::size_t user_id) const;
+  bool has_user(std::size_t user_id) const;
+  /// Current placement of a user (by value: a concurrent lifecycle publish
+  /// must not dangle the caller). Batches should read their PinnedDirectory
+  /// instead, for an epoch-consistent view.
+  UserSlot slot(std::size_t user_id) const;
 
   /// True when build() constructed candidate routers (two-phase enabled).
-  bool routed() const { return !routers_.empty(); }
+  bool routed() const { return routed_; }
   /// Cluster count of one user's router (tests / diagnostics).
   std::size_t router_k(std::size_t user_id) const;
 
   /// Phase 1: candidate bitmaps over `shard`'s key columns for B queries
-  /// (row b belongs to row_users[b]). Ranks each user's cluster centroids
-  /// against the sketched query, expands the top-nprobe clusters to member
-  /// keys and optionally trims to the sketch-ranked shortlist. Every row
-  /// gets at least one candidate, all inside the user's slot.
+  /// (row b belongs to row_users[b]), resolved against the pinned snapshot
+  /// `snap` — slots, routers and the score-row width are all read from that
+  /// epoch, so a concurrent admit/evict cannot tear the routing. Ranks each
+  /// user's cluster centroids against the sketched query, expands the
+  /// top-nprobe clusters to member keys and optionally trims to the
+  /// sketch-ranked shortlist. Every row gets at least one candidate, all
+  /// inside the user's slot.
   ///
   /// Returns the key columns the masked exact pass will actually compute:
   /// the fused kernel prunes at accumulator-block granularity
   /// (Crossbar::kAccumulatorLanes), so candidate work rounds up to whole
   /// blocks — this count matches the kernel's own ADC accounting, not the
   /// (smaller) raw candidate count.
+  std::size_t route_candidates(const TenantSnapshot& snap, std::size_t shard,
+                               const Matrix& queries,
+                               const std::vector<std::size_t>& row_users,
+                               cim::CandidateSet& out, RouteScratch& scratch) const;
+
+  /// Convenience overload against the current epoch.
   std::size_t route_candidates(std::size_t shard, const Matrix& queries,
                                const std::vector<std::size_t>& row_users,
                                cim::CandidateSet& out, RouteScratch& scratch) const;
@@ -161,29 +234,41 @@ class ShardedOvtStore {
 
  private:
   struct Shard {
-    std::vector<Matrix> keys;  ///< concatenated user keys, cleared by build()
+    std::vector<Matrix> keys;  ///< legacy build staging, cleared by build()
     std::unique_ptr<retrieval::CimRetriever> retriever;
+    SlotAllocator allocator;       ///< lifecycle mode; guarded by lifecycle_mu_
+    std::atomic<std::size_t> capacity{0};  ///< score-row width (lifecycle)
     std::mutex mu;
   };
 
-  /// Phase-1 routing state of one user: cluster membership in CSR form
-  /// (user-local key indices, cluster-grouped) plus the quantized sketch
-  /// planes. Immutable after build().
-  struct UserRouter {
-    std::vector<std::uint32_t> member_begin;  ///< k+1 offsets into members
-    std::vector<std::uint32_t> members;       ///< user-local key indices
-    Matrix centroid_sketch;                   ///< k × key_size, low-bit ints
-    Matrix key_sketch;                        ///< slot_keys × key_size ints
-  };
+  std::shared_ptr<const UserRouter> build_router(std::size_t user_id,
+                                                 const std::vector<Matrix>& keys,
+                                                 std::size_t begin, std::size_t n) const;
 
-  void build_router(std::size_t user_id, const UserSlot& slot,
-                    const std::vector<Matrix>& shard_keys);
+  /// Least-loaded target shard for `n_keys` new keys (lifecycle placement).
+  std::size_t choose_shard_locked() const;
+  /// Slot alignment for lifecycle placement: the fused kernel's
+  /// accumulator-block width when two-phase pruning benefits, else 1.
+  std::size_t slot_align() const;
+  /// Program one user's keys into shard columns [begin, begin + n), growing
+  /// the shard's retriever capacity if needed. Caller holds lifecycle_mu_.
+  void program_slot_locked(std::size_t shard, std::size_t begin,
+                           const std::vector<Matrix>& keys);
 
   OvtStoreConfig cfg_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::unordered_map<std::size_t, UserSlot> slots_;
-  std::unordered_map<std::size_t, UserRouter> routers_;
+  TenantDirectory directory_;
+  mutable EpochTracker epochs_;
+  mutable std::mutex lifecycle_mu_;  ///< serializes admit/evict/migrate + allocators
+  /// Lifecycle mode retains each user's (flattened-shape) keys for
+  /// migrations and router refreshes; guarded by lifecycle_mu_ post-build.
+  std::unordered_map<std::size_t, std::vector<Matrix>> user_keys_;
+  std::vector<std::size_t> registration_order_;  ///< pre-build users, in order
+  std::vector<Rng> shard_base_rng_;              ///< per-shard noise bases (lifecycle)
+  std::size_t key_size_ = 0;
+  std::size_t router_refreshes_ = 0;  ///< guarded by lifecycle_mu_
   bool built_ = false;
+  bool routed_ = false;
 };
 
 }  // namespace nvcim::serve

@@ -48,6 +48,17 @@ struct StatsSnapshot {
   double sampled_recall_at1 = 0.0;  ///< matches/samples (0 with no samples)
   /// Decode GEMMs that stacked >1 missed payload into one batched pass.
   std::size_t batched_decode_gemms = 0;
+  // Tenant lifecycle accounting (zero without LifecycleConfig::enabled).
+  std::size_t users_admitted = 0;   ///< live admits after start()
+  std::size_t users_evicted = 0;    ///< live evictions
+  std::size_t migrations = 0;       ///< user slots moved between shards
+  /// Candidate routers (re)built by lifecycle operations — per-user, so a
+  /// refresh never re-clusters tenants whose membership didn't change.
+  std::size_t router_refreshes = 0;
+  double rebalance_ms = 0.0;        ///< cumulative rebalance() wall-clock
+  /// try_submit() calls bounced with Overloaded because the queue was full
+  /// (non-blocking admission control; submit() still blocks instead).
+  std::size_t rejected_requests = 0;
 };
 
 /// Thread-safe request/batch/latency accounting for a serving engine.
@@ -118,6 +129,34 @@ class EngineStats {
     ++batched_decode_gemms_;
   }
 
+  /// Count one live admission (and its router build, when routed).
+  void record_admission(bool router_refreshed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++users_admitted_;
+    if (router_refreshed) ++router_refreshes_;
+  }
+
+  void record_eviction() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++users_evicted_;
+  }
+
+  void record_migration() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++migrations_;
+  }
+
+  /// Accumulate one rebalance() cycle's wall-clock.
+  void record_rebalance(double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rebalance_ms_ += ms;
+  }
+
+  void record_rejection() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rejected_requests_;
+  }
+
   StatsSnapshot snapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
     StatsSnapshot s;
@@ -155,6 +194,12 @@ class EngineStats {
       s.sampled_recall_at1 =
           static_cast<double>(recall_matches_) / static_cast<double>(recall_samples_);
     s.batched_decode_gemms = batched_decode_gemms_;
+    s.users_admitted = users_admitted_;
+    s.users_evicted = users_evicted_;
+    s.migrations = migrations_;
+    s.router_refreshes = router_refreshes_;
+    s.rebalance_ms = rebalance_ms_;
+    s.rejected_requests = rejected_requests_;
     return s;
   }
 
@@ -186,6 +231,12 @@ class EngineStats {
   std::size_t recall_samples_ = 0;
   std::size_t recall_matches_ = 0;
   std::size_t batched_decode_gemms_ = 0;
+  std::size_t users_admitted_ = 0;
+  std::size_t users_evicted_ = 0;
+  std::size_t migrations_ = 0;
+  std::size_t router_refreshes_ = 0;
+  double rebalance_ms_ = 0.0;
+  std::size_t rejected_requests_ = 0;
   std::vector<double> latencies_ms_;
 };
 

@@ -16,6 +16,7 @@ OvtStoreConfig store_config(const ServingConfig& cfg) {
   sc.crossbar = cfg.crossbar;
   sc.variation = cfg.variation;
   sc.two_phase = cfg.two_phase;
+  sc.lifecycle = cfg.lifecycle;
   return sc;
 }
 
@@ -40,24 +41,169 @@ ServingEngine::ServingEngine(llm::TinyLM& model, const data::LampTask& task, Ser
 ServingEngine::~ServingEngine() { stop(); }
 
 void ServingEngine::add_deployment(std::size_t user_id, core::TrainedDeployment deployment) {
-  NVCIM_CHECK_MSG(!running_, "cannot add deployments while running");
+  NVCIM_CHECK_MSG(!running_, "cannot add deployments while running (use admit_user)");
   NVCIM_CHECK_MSG(deployment.n_ovts() > 0, "deployment for user " << user_id << " is empty");
   NVCIM_CHECK_MSG(deployment.autoencoder != nullptr,
                   "deployment for user " << user_id << " has no autoencoder");
   store_.add_user(user_id, deployment.keys);
-  deployments_.emplace(user_id, std::move(deployment));
+  auto owned = std::make_shared<const core::TrainedDeployment>(std::move(deployment));
+  std::uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(deployments_mu_);
+    generation = next_generation_++;
+    deployments_[user_id] = DepRef{std::move(owned), generation};
+  }
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  live_generations_.insert(generation);
+}
+
+void ServingEngine::admit_user(std::size_t user_id, core::TrainedDeployment deployment) {
+  if (!store_.built()) {
+    add_deployment(user_id, std::move(deployment));
+    return;
+  }
+  NVCIM_CHECK_MSG(cfg_.lifecycle.enabled, "tenant lifecycle disabled in this engine");
+  NVCIM_CHECK_MSG(deployment.n_ovts() > 0, "deployment for user " << user_id << " is empty");
+  NVCIM_CHECK_MSG(deployment.autoencoder != nullptr,
+                  "deployment for user " << user_id << " has no autoencoder");
+  auto owned = std::make_shared<const core::TrainedDeployment>(std::move(deployment));
+  // Deployment first, directory second: the moment a batch can see the
+  // user's slot, its deployment must resolve.
+  std::uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(deployments_mu_);
+    NVCIM_CHECK_MSG(deployments_.count(user_id) == 0,
+                    "user " << user_id << " already deployed");
+    generation = next_generation_++;
+    deployments_[user_id] = DepRef{owned, generation};
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    live_generations_.insert(generation);
+  }
+  try {
+    store_.admit_user(user_id, owned->keys);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(deployments_mu_);
+      deployments_.erase(user_id);
+    }
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    live_generations_.erase(generation);
+    throw;
+  }
+  stats_.record_admission(/*router_refreshed=*/store_.routed());
+}
+
+void ServingEngine::evict_user(std::size_t user_id) {
+  NVCIM_CHECK_MSG(cfg_.lifecycle.enabled, "tenant lifecycle disabled in this engine");
+  // Unpublish the slot first (new batches stop seeing the user), then drop
+  // the deployment (in-flight batches hold their own shared_ptr), then
+  // purge the user's decoded prompts. Cache keys carry the admission
+  // generation, so a late single-flight insert from a still-draining batch
+  // can never be served to a future re-admission of this user id.
+  store_.evict_user(user_id);  // throws for unknown users
+  std::uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(deployments_mu_);
+    auto it = deployments_.find(user_id);
+    NVCIM_CHECK_MSG(it != deployments_.end(), "user " << user_id << " has no deployment");
+    generation = it->second.generation;
+    deployments_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    live_generations_.erase(generation);  // late decode completions won't re-cache
+    cache_.erase_if([generation](const std::pair<std::size_t, std::size_t>& key) {
+      return key.first == generation;
+    });
+  }
+  stats_.record_eviction();
+}
+
+std::size_t ServingEngine::rebalance() {
+  NVCIM_CHECK_MSG(cfg_.lifecycle.enabled, "tenant lifecycle disabled in this engine");
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<Migration> plan = store_.plan_rebalance();
+  std::atomic<std::size_t> migrated{0};
+  if (plan.empty()) {
+    stats_.record_rebalance(ms_between(t0, std::chrono::steady_clock::now()));
+    return 0;
+  }
+  // Each migration programs one user's columns into the target shard and
+  // republishes the directory. A migration that fails (e.g. the user was
+  // evicted between planning and execution) is skipped, never fatal.
+  const auto migrate_one = [&](const Migration& m) {
+    try {
+      store_.migrate_user(m.user_id, m.to_shard);
+      stats_.record_migration();
+      ++migrated;
+    } catch (...) {
+    }
+  };
+  // Fan the migrations out as aux tasks: workers run them between (and
+  // with priority over) serving batches, exactly like per-shard retrieval
+  // subtasks — quiesce-free by construction. The enqueue is gated on
+  // running_ && !stopping_ UNDER queue_mu_ (the lock stop() sets stopping_
+  // under): tasks enqueued while that holds are guaranteed a live worker to
+  // drain them (workers empty the aux queue before exiting); otherwise the
+  // migrations run inline on this thread instead of waiting forever.
+  struct Group {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+  } group;
+  group.remaining = plan.size();
+  bool enqueued = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (running_ && !stopping_) {
+      for (const Migration& m : plan)
+        aux_queue_.emplace_back([&migrate_one, &group, m](WorkerState&) {
+          migrate_one(m);
+          std::lock_guard<std::mutex> glock(group.mu);
+          if (--group.remaining == 0) group.cv.notify_all();
+        });
+      enqueued = true;
+    }
+  }
+  if (enqueued) {
+    queue_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(group.mu);
+    group.cv.wait(lock, [&group] { return group.remaining == 0; });
+  } else {
+    for (const Migration& m : plan) migrate_one(m);
+  }
+  stats_.record_rebalance(ms_between(t0, std::chrono::steady_clock::now()));
+  return migrated.load();
+}
+
+ServingEngine::DepRef ServingEngine::find_deployment(std::size_t user_id) const {
+  std::lock_guard<std::mutex> lock(deployments_mu_);
+  auto it = deployments_.find(user_id);
+  return it == deployments_.end() ? DepRef{} : it->second;
+}
+
+std::size_t ServingEngine::n_users() const {
+  std::lock_guard<std::mutex> lock(deployments_mu_);
+  return deployments_.size();
 }
 
 void ServingEngine::start() {
   NVCIM_CHECK_MSG(!running_, "engine already started");
-  NVCIM_CHECK_MSG(!deployments_.empty(), "no deployments to serve");
+  std::size_t first_user_rep = 0;
+  {
+    std::lock_guard<std::mutex> lock(deployments_mu_);
+    NVCIM_CHECK_MSG(!deployments_.empty(), "no deployments to serve");
+    first_user_rep = deployments_.begin()->second.dep->keys[0].size();
+  }
   if (!store_.built()) {
     Rng rng(cfg_.seed);
     store_.build(rng);
   }
   // All users share one key shape (enforced by the store), so every flattened
   // query representation has the width of the first user's first key.
-  rep_size_ = deployments_.begin()->second.keys[0].size();
+  rep_size_ = first_user_rep;
   stopping_ = false;
   running_ = true;
   stats_.start_clock();
@@ -81,7 +227,12 @@ void ServingEngine::stop() {
 
 std::future<Response> ServingEngine::submit(std::size_t user_id, data::Sample query) {
   NVCIM_CHECK_MSG(running_, "engine not started");
-  NVCIM_CHECK_MSG(deployments_.count(user_id) > 0, "unknown user " << user_id);
+  // Both halves of an admission must be visible: the deployment AND the
+  // store slot (published last by admit_user). Checking only the former
+  // would let a request race into a batch whose pinned epoch predates the
+  // slot and fail spuriously.
+  NVCIM_CHECK_MSG(find_deployment(user_id).dep != nullptr && store_.has_user(user_id),
+                  "unknown user " << user_id);
   Pending p;
   p.user_id = user_id;
   p.query = std::move(query);
@@ -91,6 +242,31 @@ std::future<Response> ServingEngine::submit(std::size_t user_id, data::Sample qu
     std::unique_lock<std::mutex> lock(queue_mu_);
     capacity_cv_.wait(lock, [this] { return queue_.size() < cfg_.queue_capacity || stopping_; });
     NVCIM_CHECK_MSG(!stopping_, "engine is stopping");
+    queue_.push_back(std::move(p));
+  }
+  queue_cv_.notify_one();
+  return fut;
+}
+
+std::optional<std::future<Response>> ServingEngine::try_submit(std::size_t user_id,
+                                                               data::Sample query) {
+  NVCIM_CHECK_MSG(running_, "engine not started");
+  NVCIM_CHECK_MSG(find_deployment(user_id).dep != nullptr && store_.has_user(user_id),
+                  "unknown user " << user_id);
+  Pending p;
+  p.user_id = user_id;
+  p.query = std::move(query);
+  p.enqueued = std::chrono::steady_clock::now();
+  std::future<Response> fut = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    NVCIM_CHECK_MSG(!stopping_, "engine is stopping");
+    if (queue_.size() >= cfg_.queue_capacity) {
+      // Overloaded: reject instead of blocking — the caller owns the
+      // shed/retry policy. The counter is the observable signal.
+      stats_.record_rejection();
+      return std::nullopt;
+    }
     queue_.push_back(std::move(p));
   }
   queue_cv_.notify_one();
@@ -173,6 +349,25 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
     return ms;
   };
 
+  // Pin the tenant directory: every stage of this batch resolves slots,
+  // routers and shard widths against this one epoch, however many admits /
+  // evictions / migrations land while the batch is in flight. The pin also
+  // defers reuse of any slot freed after this point, so the crossbar
+  // columns this batch reads cannot be reprogrammed underneath it.
+  // Deployments are pinned the same way (shared_ptr per request): eviction
+  // drops the map entry, not the object.
+  const PinnedDirectory pinned = store_.pin();
+  std::vector<DepRef> deps(B);
+  for (std::size_t i = 0; i < B; ++i) {
+    deps[i] = find_deployment(batch[i].user_id);
+    if (deps[i].dep == nullptr || !pinned.has_user(batch[i].user_id)) {
+      // Evicted between submit and batch assembly — fail just this request.
+      failed[i] = 1;
+      batch[i].promise.set_exception(std::make_exception_ptr(
+          Error("user " + std::to_string(batch[i].user_id) + " was evicted")));
+    }
+  }
+
   // ---- Stage 1: batched encode, fused across users sharing an autoencoder.
   // One row of `reps` per request (failed rows are never read); groups keyed
   // by the deployment's autoencoder identity run as one stacked encode GEMM.
@@ -180,7 +375,8 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
   reps.resize(B, rep_size_);
   std::vector<std::pair<const compress::Autoencoder*, std::vector<std::size_t>>> groups;
   for (std::size_t i = 0; i < B; ++i) {
-    const compress::Autoencoder* ae = deployments_.at(batch[i].user_id).autoencoder.get();
+    if (failed[i]) continue;
+    const compress::Autoencoder* ae = deps[i].dep->autoencoder.get();
     auto it = std::find_if(groups.begin(), groups.end(),
                            [ae](const auto& g) { return g.first == ae; });
     if (it == groups.end()) {
@@ -193,16 +389,16 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
     (void)ae;
     bool fused = false;
     try {
-      std::vector<const core::TrainedDeployment*> deps;
+      std::vector<const core::TrainedDeployment*> group_deps;
       std::vector<const data::Sample*> queries;
-      deps.reserve(members.size());
+      group_deps.reserve(members.size());
       queries.reserve(members.size());
       for (const std::size_t i : members) {
-        deps.push_back(&deployments_.at(batch[i].user_id));
+        group_deps.push_back(deps[i].dep.get());
         queries.push_back(&batch[i].query);
       }
       const Matrix group_reps =
-          core::TrainedDeployment::query_representation_batch(*model_, deps, queries,
+          core::TrainedDeployment::query_representation_batch(*model_, group_deps, queries,
                                                               &ws.encode);
       NVCIM_CHECK_MSG(group_reps.cols() == rep_size_, "representation width mismatch");
       for (std::size_t r = 0; r < members.size(); ++r)
@@ -217,7 +413,7 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
       for (const std::size_t i : members) {
         try {
           const Matrix rep =
-              deployments_.at(batch[i].user_id).query_representation(*model_, batch[i].query);
+              deps[i].dep->query_representation(*model_, batch[i].query);
           NVCIM_CHECK_MSG(rep.size() == rep_size_, "representation width mismatch");
           std::memcpy(reps.data() + i * rep_size_, rep.data(), rep_size_ * sizeof(float));
         } catch (...) {
@@ -240,7 +436,7 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
   const bool routed = cfg_.two_phase.enabled && store_.routed();
   std::vector<std::vector<std::size_t>> by_shard(store_.n_shards());
   for (std::size_t i = 0; i < B; ++i)
-    if (!failed[i]) by_shard[store_.slot(batch[i].user_id).shard].push_back(i);
+    if (!failed[i]) by_shard[pinned.slot(batch[i].user_id).shard].push_back(i);
   if (routed) {
     // Group a shard pass's rows by user: the masked kernel skips an
     // accumulator block only when none of its 4-query register tile needs
@@ -250,8 +446,8 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
     for (auto& members : by_shard)
       std::stable_sort(members.begin(), members.end(),
                        [&](std::size_t a, std::size_t b2) {
-                         return store_.slot(batch[a].user_id).begin <
-                                store_.slot(batch[b2].user_id).begin;
+                         return pinned.slot(batch[a].user_id).begin <
+                                pinned.slot(batch[b2].user_id).begin;
                        });
   }
 
@@ -274,16 +470,17 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
         tws.row_users.clear();
         tws.row_users.reserve(members.size());
         for (const std::size_t i : members) tws.row_users.push_back(batch[i].user_id);
-        const std::size_t examined =
-            store_.route_candidates(shard, queries, tws.row_users, tws.candidates, tws.route);
+        const std::size_t examined = store_.route_candidates(
+            *pinned.snap, shard, queries, tws.row_users, tws.candidates, tws.route);
         store_.shard_scores_into(shard, queries, tws.shard_scores, tws.retrieve,
                                  &tws.candidates);
         for (std::size_t r = 0; r < members.size(); ++r) {
           const std::size_t i = members[r];
           ovt_index[i] = ShardedOvtStore::best_in_slot_candidates(
-              tws.shard_scores, r, store_.slot(batch[i].user_id), tws.candidates);
+              tws.shard_scores, r, pinned.slot(batch[i].user_id), tws.candidates);
         }
-        stats_.record_two_phase(examined, members.size() * store_.shard_keys(shard));
+        stats_.record_two_phase(examined,
+                                members.size() * pinned.snap->shard_capacity[shard]);
         // Sampled recall-vs-exact: every Nth routed pass also runs the
         // unmasked scoring and counts rows whose winner matches.
         const std::size_t every = cfg_.two_phase.recall_sample_every;
@@ -291,7 +488,7 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
           store_.shard_scores_into(shard, queries, tws.exact_scores, tws.exact_retrieve);
           std::size_t matches = 0;
           for (std::size_t r = 0; r < members.size(); ++r) {
-            const ShardedOvtStore::UserSlot& us = store_.slot(batch[members[r]].user_id);
+            const UserSlot& us = pinned.slot(batch[members[r]].user_id);
             if (ShardedOvtStore::best_in_slot(tws.exact_scores, r, us) == ovt_index[members[r]])
               ++matches;
           }
@@ -302,7 +499,7 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
         for (std::size_t r = 0; r < members.size(); ++r) {
           const std::size_t i = members[r];
           ovt_index[i] =
-              ShardedOvtStore::best_in_slot(tws.shard_scores, r, store_.slot(batch[i].user_id));
+              ShardedOvtStore::best_in_slot(tws.shard_scores, r, pinned.slot(batch[i].user_id));
         }
       }
     } catch (...) {
@@ -396,7 +593,9 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
     std::lock_guard<std::mutex> lock(cache_mu_);
     for (std::size_t i = 0; i < B; ++i) {
       if (failed[i]) continue;
-      const CacheKey key{batch[i].user_id, ovt_index[i]};
+      // Keyed by the admission generation, not the user id: a re-admitted
+      // user id must never see its predecessor's cached prompts.
+      const CacheKey key{deps[i].generation, ovt_index[i]};
       if (auto hit = cache_.get(key)) {
         prompts[i] = *hit;
         cache_hit[i] = 1;
@@ -431,8 +630,7 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
     try {
       std::vector<std::pair<const compress::Autoencoder*, std::vector<std::size_t>>> dgroups;
       for (std::size_t l = 0; l < leaders.size(); ++l) {
-        const compress::Autoencoder* ae =
-            deployments_.at(leaders[l].key.first).autoencoder.get();
+        const compress::Autoencoder* ae = deps[leaders[l].req].dep->autoencoder.get();
         auto it = std::find_if(dgroups.begin(), dgroups.end(),
                                [ae](const auto& g) { return g.first == ae; });
         if (it == dgroups.end()) {
@@ -449,7 +647,7 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
             ws.decode_parts.reserve(group.size());
             for (const std::size_t l : group)
               ws.decode_parts.push_back(
-                  &deployments_.at(leaders[l].key.first).stored_codes[leaders[l].key.second]);
+                  &deps[leaders[l].req].dep->stored_codes[leaders[l].key.second]);
             stack_rows_into(ws.decode_parts, ws.decode_stacked);
             ae->decode_into(ws.decode_stacked, ws.decode_out, &ws.encode.autoencoder);
             std::size_t r0 = 0;
@@ -470,8 +668,8 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
           for (const std::size_t l : group) {
             try {
               auto owned = std::make_shared<Matrix>();
-              deployments_.at(leaders[l].key.first)
-                  .decode_prompt_into(leaders[l].key.second, *owned, &ws.encode.autoencoder);
+              deps[leaders[l].req].dep->decode_prompt_into(leaders[l].key.second, *owned,
+                                                           &ws.encode.autoencoder);
               leaders[l].value = std::move(owned);
               ++prompt_decodes_;
             } catch (...) {
@@ -590,9 +788,9 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
 }
 
 std::shared_ptr<const Matrix> ServingEngine::prompt_locked_fetch(
-    std::size_t user_id, std::size_t ovt_index, bool* was_hit,
+    const DepRef& ref, std::size_t ovt_index, bool* was_hit,
     compress::Autoencoder::Scratch* scratch) {
-  const std::pair<std::size_t, std::size_t> key{user_id, ovt_index};
+  const std::pair<std::size_t, std::size_t> key{ref.generation, ovt_index};
   std::shared_ptr<InFlightDecode> flight;
   bool leader = false;
   {
@@ -628,7 +826,7 @@ std::shared_ptr<const Matrix> ServingEngine::prompt_locked_fetch(
   std::exception_ptr error;
   try {
     auto owned = std::make_shared<Matrix>();
-    deployments_.at(user_id).decode_prompt_into(ovt_index, *owned, scratch);
+    ref.dep->decode_prompt_into(ovt_index, *owned, scratch);
     decoded = std::move(owned);
     ++prompt_decodes_;
   } catch (...) {
@@ -646,7 +844,10 @@ void ServingEngine::complete_decode_flight(const std::pair<std::size_t, std::siz
                                            const std::exception_ptr& error) {
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
-    if (!error) {
+    // A decode finishing after its user's eviction (dead generation) is
+    // delivered to its waiters but never cached — otherwise it would
+    // re-insert an unreachable entry right after the eviction purge.
+    if (!error && live_generations_.count(key.first) > 0) {
       try {
         cache_.put(key, value);
       } catch (...) {
@@ -666,22 +867,26 @@ void ServingEngine::complete_decode_flight(const std::pair<std::size_t, std::siz
 }
 
 std::shared_ptr<const Matrix> ServingEngine::prompt(std::size_t user_id, std::size_t ovt_index) {
-  NVCIM_CHECK_MSG(deployments_.count(user_id) > 0, "unknown user " << user_id);
-  NVCIM_CHECK_MSG(ovt_index < deployments_.at(user_id).n_ovts(),
+  const DepRef ref = find_deployment(user_id);
+  NVCIM_CHECK_MSG(ref.dep != nullptr, "unknown user " << user_id);
+  NVCIM_CHECK_MSG(ovt_index < ref.dep->n_ovts(),
                   "OVT " << ovt_index << " out of range for user " << user_id);
-  return prompt_locked_fetch(user_id, ovt_index, nullptr, nullptr);
+  return prompt_locked_fetch(ref, ovt_index, nullptr, nullptr);
 }
 
 std::size_t ServingEngine::retrieve_serial(std::size_t user_id, const data::Sample& query) {
   NVCIM_CHECK_MSG(store_.built(), "engine not started");
-  const core::TrainedDeployment& dep = deployments_.at(user_id);
-  return store_.retrieve_user(user_id, dep.query_representation(*model_, query));
+  const DepRef ref = find_deployment(user_id);
+  NVCIM_CHECK_MSG(ref.dep != nullptr, "unknown user " << user_id);
+  return store_.retrieve_user(user_id, ref.dep->query_representation(*model_, query));
 }
 
 const core::TrainedDeployment& ServingEngine::deployment(std::size_t user_id) const {
+  std::lock_guard<std::mutex> lock(deployments_mu_);
   auto it = deployments_.find(user_id);
   NVCIM_CHECK_MSG(it != deployments_.end(), "unknown user " << user_id);
-  return it->second;
+  // The reference stays valid until the user is evicted (shared_ptr target).
+  return *it->second.dep;
 }
 
 std::size_t ServingEngine::cache_evictions() const {

@@ -7,6 +7,20 @@
 
 namespace nvcim::serve {
 
+namespace {
+
+retrieval::CimRetriever::Config retriever_config(const OvtStoreConfig& cfg) {
+  retrieval::CimRetriever::Config rcfg;
+  rcfg.algorithm = cfg.algorithm;
+  rcfg.ssa = cfg.ssa;
+  rcfg.crossbar = cfg.crossbar;
+  rcfg.variation = cfg.variation;
+  rcfg.program = cfg.program;
+  return rcfg;
+}
+
+}  // namespace
+
 ShardedOvtStore::ShardedOvtStore(OvtStoreConfig cfg) : cfg_(std::move(cfg)) {
   NVCIM_CHECK_MSG(cfg_.n_shards > 0, "store needs at least one shard");
   NVCIM_CHECK_MSG(cfg_.two_phase.sketch_bits >= 4 && cfg_.two_phase.sketch_bits <= 8,
@@ -15,29 +29,64 @@ ShardedOvtStore::ShardedOvtStore(OvtStoreConfig cfg) : cfg_(std::move(cfg)) {
   for (std::size_t s = 0; s < cfg_.n_shards; ++s) shards_.push_back(std::make_unique<Shard>());
 }
 
-void ShardedOvtStore::add_user(std::size_t user_id, const std::vector<Matrix>& keys) {
-  NVCIM_CHECK_MSG(!built_, "store already built; users must be added before build()");
-  NVCIM_CHECK_MSG(!keys.empty(), "user " << user_id << " has no keys");
-  NVCIM_CHECK_MSG(!has_user(user_id), "user " << user_id << " already registered");
-
-  // Least-loaded placement keeps shard key counts balanced.
-  std::size_t target = 0;
-  for (std::size_t s = 1; s < shards_.size(); ++s)
-    if (shards_[s]->keys.size() < shards_[target]->keys.size()) target = s;
-
-  Shard& shard = *shards_[target];
-  UserSlot slot;
-  slot.shard = target;
-  slot.begin = shard.keys.size();
-  for (const Matrix& k : keys) shard.keys.push_back(k);
-  slot.end = shard.keys.size();
-  slots_.emplace(user_id, slot);
+std::size_t ShardedOvtStore::slot_align() const {
+  if (!cfg_.two_phase.enabled || !cfg_.lifecycle.align_slots_to_blocks) return 1;
+  // Block-aligned slots only help when subarray boundaries are themselves
+  // block-aligned (true for the paper geometry: 128-column subarrays, 16-
+  // column accumulator blocks).
+  const std::size_t block = cim::Crossbar::kAccumulatorLanes / (cfg_.crossbar.differential ? 2 : 1);
+  return cfg_.crossbar.cols % block == 0 ? block : 1;
 }
 
-void ShardedOvtStore::build_router(std::size_t user_id, const UserSlot& slot,
-                                   const std::vector<Matrix>& shard_keys) {
-  const std::size_t n = slot.n_keys();
-  const std::size_t key_size = shard_keys[slot.begin].size();
+std::size_t ShardedOvtStore::choose_shard_locked() const {
+  std::size_t target = 0;
+  for (std::size_t s = 1; s < shards_.size(); ++s)
+    if (shards_[s]->allocator.occupied() < shards_[target]->allocator.occupied()) target = s;
+  return target;
+}
+
+void ShardedOvtStore::add_user(std::size_t user_id, const std::vector<Matrix>& keys) {
+  if (built_) {
+    NVCIM_CHECK_MSG(cfg_.lifecycle.enabled,
+                    "store already built; users must be added before build() "
+                    "(enable LifecycleConfig for live admission)");
+    admit_user(user_id, keys);
+    return;
+  }
+  NVCIM_CHECK_MSG(!keys.empty(), "user " << user_id << " has no keys");
+  NVCIM_CHECK_MSG(!has_user(user_id), "user " << user_id << " already registered");
+  if (key_size_ == 0) key_size_ = keys[0].size();
+  for (const Matrix& k : keys)
+    NVCIM_CHECK_MSG(k.size() == key_size_, "keys must share a common size");
+
+  UserSlot slot;
+  if (cfg_.lifecycle.enabled) {
+    // Same placement path live admits use, so a from-scratch build and an
+    // incremental one walk identical allocator histories.
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    slot.shard = choose_shard_locked();
+    slot.begin = shards_[slot.shard]->allocator.allocate(keys.size(), 0, slot_align());
+    slot.end = slot.begin + keys.size();
+    user_keys_[user_id] = keys;
+  } else {
+    // Least-loaded placement keeps shard key counts balanced.
+    std::size_t target = 0;
+    for (std::size_t s = 1; s < shards_.size(); ++s)
+      if (shards_[s]->keys.size() < shards_[target]->keys.size()) target = s;
+    Shard& shard = *shards_[target];
+    slot.shard = target;
+    slot.begin = shard.keys.size();
+    for (const Matrix& k : keys) shard.keys.push_back(k);
+    slot.end = shard.keys.size();
+  }
+  registration_order_.push_back(user_id);
+  directory_.update([&](TenantSnapshot& t) { t.slots[user_id] = slot; });
+}
+
+std::shared_ptr<const UserRouter> ShardedOvtStore::build_router(
+    std::size_t user_id, const std::vector<Matrix>& keys, std::size_t begin,
+    std::size_t n) const {
+  const std::size_t key_size = keys[begin].size();
 
   // Flatten the user's keys once: k-means points and the sketch plane share
   // this layout.
@@ -45,12 +94,11 @@ void ShardedOvtStore::build_router(std::size_t user_id, const UserSlot& slot,
   Matrix key_mat(n, key_size);
   points.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    points.push_back(shard_keys[slot.begin + i].flattened());
+    points.push_back(keys[begin + i].flattened());
     key_mat.set_row(i, points.back());
   }
 
-  const std::size_t k =
-      std::min(cluster::select_k(n, cfg_.two_phase.k_select), n);
+  const std::size_t k = std::min(cluster::select_k(n, cfg_.two_phase.k_select), n);
   cluster::KMeansConfig kmcfg = cfg_.two_phase.kmeans;
   // Deterministic, distinct stream per user: routing must not depend on
   // registration or build order.
@@ -73,15 +121,16 @@ void ShardedOvtStore::build_router(std::size_t user_id, const UserSlot& slot,
     }
   }
 
-  UserRouter router;
-  router.member_begin.assign(kept.size() + 1, 0);
-  for (const std::size_t a : km.assignment) ++router.member_begin[remap[a] + 1];
+  auto router = std::make_shared<UserRouter>();
+  router->member_begin.assign(kept.size() + 1, 0);
+  for (const std::size_t a : km.assignment) ++router->member_begin[remap[a] + 1];
   for (std::size_t c = 0; c < kept.size(); ++c)
-    router.member_begin[c + 1] += router.member_begin[c];
-  router.members.resize(n);
-  std::vector<std::uint32_t> cursor(router.member_begin.begin(), router.member_begin.end() - 1);
+    router->member_begin[c + 1] += router->member_begin[c];
+  router->members.resize(n);
+  std::vector<std::uint32_t> cursor(router->member_begin.begin(),
+                                    router->member_begin.end() - 1);
   for (std::size_t i = 0; i < n; ++i)
-    router.members[cursor[remap[km.assignment[i]]]++] = static_cast<std::uint32_t>(i);
+    router->members[cursor[remap[km.assignment[i]]]++] = static_cast<std::uint32_t>(i);
 
   // Low-bit sketch planes over centroids and keys. Only the integer grids
   // matter: ranking by q(x)·q(c) is scale-invariant (symmetric quantization
@@ -90,88 +139,286 @@ void ShardedOvtStore::build_router(std::size_t user_id, const UserSlot& slot,
   for (std::size_t c = 0; c < kept.size(); ++c)
     centroid_mat.set_row(c, km.centroids[kept[c]]);
   const int bits = static_cast<int>(cfg_.two_phase.sketch_bits);
-  router.centroid_sketch = cim::quantize_symmetric(centroid_mat, bits).q;
-  router.key_sketch = cim::quantize_symmetric(key_mat, bits).q;
+  router->centroid_sketch = cim::quantize_symmetric(centroid_mat, bits).q;
+  router->key_sketch = cim::quantize_symmetric(key_mat, bits).q;
+  return router;
+}
 
-  routers_.emplace(user_id, std::move(router));
+void ShardedOvtStore::program_slot_locked(std::size_t shard, std::size_t begin,
+                                          const std::vector<Matrix>& keys) {
+  Shard& s = *shards_[shard];
+  const std::size_t need = begin + keys.size();
+  // Programming (and capacity growth) excludes this shard's MVM passes for
+  // the duration of the column writes only — other shards keep serving.
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.retriever == nullptr) {
+    s.retriever = std::make_unique<retrieval::CimRetriever>(retriever_config(cfg_));
+    s.retriever->store_mutable(key_size_, need, shard_base_rng_[shard]);
+  } else if (s.retriever->n_keys() < need) {
+    s.retriever->ensure_capacity(need);
+  }
+  s.retriever->program_keys(begin, keys);
+  s.capacity.store(s.retriever->n_keys(), std::memory_order_release);
 }
 
 void ShardedOvtStore::build(Rng& rng) {
   NVCIM_CHECK_MSG(!built_, "store already built");
-  NVCIM_CHECK_MSG(!slots_.empty(), "no users registered");
-  retrieval::CimRetriever::Config rcfg;
-  rcfg.algorithm = cfg_.algorithm;
-  rcfg.ssa = cfg_.ssa;
-  rcfg.crossbar = cfg_.crossbar;
-  rcfg.variation = cfg_.variation;
-  rcfg.program = cfg_.program;
-  // Phase-1 routers are built from the clean keys before the crossbars
-  // consume (and the shards drop) them. Key order inside each shard is
-  // untouched — programming draws the same noise stream as the exact path,
-  // so nprobe = all reproduces it bit-identically.
-  if (cfg_.two_phase.enabled) {
-    for (const auto& [user_id, slot] : slots_)
-      build_router(user_id, slot, shards_[slot.shard]->keys);
+  NVCIM_CHECK_MSG(!registration_order_.empty(), "no users registered");
+  const auto snap = directory_.acquire();
+  routed_ = cfg_.two_phase.enabled;
+
+  // Per-shard noise bases are derived for every shard up front (even ones
+  // still empty): a later admit into an empty shard must draw the same
+  // streams a from-scratch build would have.
+  shard_base_rng_.clear();
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    shard_base_rng_.push_back(rng.split(0x5A4D0ull + s));
+
+  std::unordered_map<std::size_t, std::shared_ptr<const UserRouter>> routers;
+  if (cfg_.lifecycle.enabled) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = *shards_[s];
+      const std::size_t tail = shard.allocator.tail();
+      if (tail == 0) continue;  // more shards than users (so far)
+      const std::size_t capacity = std::max(
+          tail, static_cast<std::size_t>(
+                    std::ceil(static_cast<double>(tail) * cfg_.lifecycle.capacity_factor)));
+      shard.retriever = std::make_unique<retrieval::CimRetriever>(retriever_config(cfg_));
+      shard.retriever->store_mutable(key_size_, capacity, shard_base_rng_[s]);
+      shard.capacity.store(shard.retriever->n_keys(), std::memory_order_release);
+    }
+    // Program per user, in registration order — though per-key scales and
+    // per-column noise streams make the result order-independent anyway.
+    for (const std::size_t user : registration_order_) {
+      const UserSlot& slot = snap->slot(user);
+      program_slot_locked(slot.shard, slot.begin, user_keys_.at(user));
+    }
+    if (routed_) {
+      for (const std::size_t user : registration_order_) {
+        const std::vector<Matrix>& keys = user_keys_.at(user);
+        routers[user] = build_router(user, keys, 0, keys.size());
+      }
+    }
+  } else {
+    // Phase-1 routers are built from the clean keys before the crossbars
+    // consume (and the shards drop) them. Key order inside each shard is
+    // untouched — programming draws the same noise stream as the exact path,
+    // so nprobe = all reproduces it bit-identically.
+    if (routed_) {
+      for (const auto& [user_id, slot] : snap->slots)
+        routers[user_id] =
+            build_router(user_id, shards_[slot.shard]->keys, slot.begin, slot.n_keys());
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = *shards_[s];
+      if (shard.keys.empty()) continue;  // more shards than users
+      shard.retriever = std::make_unique<retrieval::CimRetriever>(retriever_config(cfg_));
+      Rng shard_rng = shard_base_rng_[s];
+      shard.retriever->store(shard.keys, shard_rng);
+      shard.keys.clear();
+      shard.keys.shrink_to_fit();
+    }
   }
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
-    Shard& shard = *shards_[s];
-    if (shard.keys.empty()) continue;  // more shards than users
-    shard.retriever = std::make_unique<retrieval::CimRetriever>(rcfg);
-    Rng shard_rng = rng.split(0x5A4D0ull + s);
-    shard.retriever->store(shard.keys, shard_rng);
-    shard.keys.clear();
-    shard.keys.shrink_to_fit();
-  }
+
+  directory_.update([&](TenantSnapshot& t) {
+    t.routers = std::move(routers);
+    t.shard_capacity.assign(shards_.size(), 0);
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+      if (shards_[s]->retriever != nullptr)
+        t.shard_capacity[s] = shards_[s]->retriever->n_keys();
+  });
   built_ = true;
 }
 
+// ---------------------------------------------------------------------------
+// Online tenant lifecycle
+// ---------------------------------------------------------------------------
+
+void ShardedOvtStore::admit_user(std::size_t user_id, const std::vector<Matrix>& keys) {
+  NVCIM_CHECK_MSG(cfg_.lifecycle.enabled, "tenant lifecycle disabled in this store");
+  NVCIM_CHECK_MSG(built_, "admit_user requires a built store (use add_user before build())");
+  NVCIM_CHECK_MSG(!keys.empty(), "user " << user_id << " has no keys");
+  for (const Matrix& k : keys)
+    NVCIM_CHECK_MSG(k.size() == key_size_, "keys must share a common size");
+
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  NVCIM_CHECK_MSG(!directory_.acquire()->has_user(user_id),
+                  "user " << user_id << " already registered");
+  const std::size_t shard = choose_shard_locked();
+  // A freed range is reusable only when every reader pinned before its
+  // freeing epoch has drained — otherwise an in-flight batch could read a
+  // column mid-reprogram.
+  const std::uint64_t safe = epochs_.min_active(directory_.epoch());
+  const std::size_t begin = shards_[shard]->allocator.allocate(keys.size(), safe, slot_align());
+  program_slot_locked(shard, begin, keys);
+
+  std::shared_ptr<const UserRouter> router;
+  if (routed_) {
+    router = build_router(user_id, keys, 0, keys.size());
+    ++router_refreshes_;
+  }
+  user_keys_[user_id] = keys;
+  directory_.update([&](TenantSnapshot& t) {
+    t.slots[user_id] = UserSlot{shard, begin, begin + keys.size()};
+    if (router != nullptr) t.routers[user_id] = router;
+    t.shard_capacity[shard] = shards_[shard]->capacity.load(std::memory_order_acquire);
+  });
+}
+
+void ShardedOvtStore::evict_user(std::size_t user_id) {
+  NVCIM_CHECK_MSG(cfg_.lifecycle.enabled, "tenant lifecycle disabled in this store");
+  NVCIM_CHECK_MSG(built_, "store not built");
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  const auto snap = directory_.acquire();
+  const UserSlot slot = snap->slot(user_id);  // throws for unknown users
+  // Unpublish first, then free: the range's reuse is deferred past every
+  // reader still pinned to an epoch that contains the slot.
+  const std::uint64_t freed_epoch = directory_.update([&](TenantSnapshot& t) {
+    t.slots.erase(user_id);
+    t.routers.erase(user_id);
+  });
+  shards_[slot.shard]->allocator.release(slot.begin, slot.end, freed_epoch);
+  user_keys_.erase(user_id);
+}
+
+void ShardedOvtStore::migrate_user(std::size_t user_id, std::size_t to_shard) {
+  NVCIM_CHECK_MSG(cfg_.lifecycle.enabled, "tenant lifecycle disabled in this store");
+  NVCIM_CHECK_MSG(built_, "store not built");
+  NVCIM_CHECK_MSG(to_shard < shards_.size(), "shard " << to_shard << " out of range");
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  const auto snap = directory_.acquire();
+  const UserSlot from = snap->slot(user_id);
+  NVCIM_CHECK_MSG(from.shard != to_shard, "user " << user_id << " already on shard " << to_shard);
+  const std::vector<Matrix>& keys = user_keys_.at(user_id);
+
+  // Program-then-publish-then-free: the new columns are fully programmed
+  // before any reader can be routed to them, old-epoch readers keep scoring
+  // the old columns, and the old range only becomes reusable once they
+  // drain. No quiesce anywhere.
+  const std::uint64_t safe = epochs_.min_active(directory_.epoch());
+  const std::size_t begin =
+      shards_[to_shard]->allocator.allocate(keys.size(), safe, slot_align());
+  program_slot_locked(to_shard, begin, keys);
+  const std::uint64_t freed_epoch = directory_.update([&](TenantSnapshot& t) {
+    t.slots[user_id] = UserSlot{to_shard, begin, begin + keys.size()};
+    // The router is slot-local (member indices are user-local), so migration
+    // never re-clusters — router refresh stays incremental by construction.
+    t.shard_capacity[to_shard] = shards_[to_shard]->capacity.load(std::memory_order_acquire);
+  });
+  shards_[from.shard]->allocator.release(from.begin, from.end, freed_epoch);
+}
+
+std::vector<Migration> ShardedOvtStore::plan_rebalance() const {
+  NVCIM_CHECK_MSG(cfg_.lifecycle.enabled, "tenant lifecycle disabled in this store");
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  std::vector<std::size_t> occupied;
+  occupied.reserve(shards_.size());
+  for (const auto& s : shards_) occupied.push_back(s->allocator.occupied());
+  return serve::plan_rebalance(occupied, directory_.acquire()->slots,
+                               cfg_.lifecycle.rebalance_tolerance,
+                               cfg_.lifecycle.max_migrations_per_cycle);
+}
+
+PinnedDirectory ShardedOvtStore::pin() const {
+  PinnedDirectory p;
+  for (;;) {
+    p.snap = directory_.acquire();
+    p.guard = epochs_.pin(p.snap->epoch);
+    // The acquire→pin pair is not atomic: a publish landing between the two
+    // steps could free — and, since min_active() cannot see the pin yet,
+    // immediately hand out — a slot this snapshot still references. If the
+    // epoch moved, drop the stale pin (guard reassignment releases it) and
+    // retry; once the epoch is unchanged AFTER the pin registered, any
+    // later free carries a younger epoch and defers to this guard.
+    if (directory_.epoch() == p.snap->epoch) return p;
+  }
+}
+
+std::size_t ShardedOvtStore::shard_occupied(std::size_t shard) const {
+  NVCIM_CHECK_MSG(shard < shards_.size(), "shard " << shard << " out of range");
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  return shards_[shard]->allocator.occupied();
+}
+
+std::size_t ShardedOvtStore::router_refreshes() const {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  return router_refreshes_;
+}
+
+// ---------------------------------------------------------------------------
+// Directory reads
+// ---------------------------------------------------------------------------
+
+std::size_t ShardedOvtStore::n_users() const { return directory_.acquire()->slots.size(); }
+
 std::size_t ShardedOvtStore::n_keys() const {
+  const auto snap = directory_.acquire();
   std::size_t n = 0;
-  for (const auto& [id, slot] : slots_) {
+  for (const auto& [id, slot] : snap->slots) {
     (void)id;
     n += slot.n_keys();
   }
   return n;
 }
 
+bool ShardedOvtStore::has_user(std::size_t user_id) const {
+  return directory_.acquire()->has_user(user_id);
+}
+
+ShardedOvtStore::UserSlot ShardedOvtStore::slot(std::size_t user_id) const {
+  return directory_.acquire()->slot(user_id);
+}
+
 std::size_t ShardedOvtStore::shard_keys(std::size_t shard) const {
   NVCIM_CHECK_MSG(built_, "store not built");
   NVCIM_CHECK_MSG(shard < shards_.size(), "shard " << shard << " out of range");
+  if (cfg_.lifecycle.enabled)
+    return shards_[shard]->capacity.load(std::memory_order_acquire);
   const Shard& s = *shards_[shard];
   return s.retriever != nullptr ? s.retriever->n_keys() : 0;
 }
 
-const ShardedOvtStore::UserSlot& ShardedOvtStore::slot(std::size_t user_id) const {
-  auto it = slots_.find(user_id);
-  NVCIM_CHECK_MSG(it != slots_.end(), "unknown user " << user_id);
-  return it->second;
+std::size_t ShardedOvtStore::router_k(std::size_t user_id) const {
+  const auto snap = directory_.acquire();
+  auto it = snap->routers.find(user_id);
+  NVCIM_CHECK_MSG(it != snap->routers.end(), "no router for user " << user_id);
+  return it->second->member_begin.size() - 1;
 }
 
-std::size_t ShardedOvtStore::router_k(std::size_t user_id) const {
-  auto it = routers_.find(user_id);
-  NVCIM_CHECK_MSG(it != routers_.end(), "no router for user " << user_id);
-  return it->second.member_begin.size() - 1;
-}
+// ---------------------------------------------------------------------------
+// Query path
+// ---------------------------------------------------------------------------
 
 std::size_t ShardedOvtStore::route_candidates(std::size_t shard, const Matrix& queries,
+                                              const std::vector<std::size_t>& row_users,
+                                              cim::CandidateSet& out, RouteScratch& rs) const {
+  return route_candidates(*directory_.acquire(), shard, queries, row_users, out, rs);
+}
+
+std::size_t ShardedOvtStore::route_candidates(const TenantSnapshot& snap, std::size_t shard,
+                                              const Matrix& queries,
                                               const std::vector<std::size_t>& row_users,
                                               cim::CandidateSet& out, RouteScratch& rs) const {
   NVCIM_CHECK_MSG(built_, "store not built");
   NVCIM_CHECK_MSG(routed(), "two-phase retrieval not enabled at build time");
   NVCIM_CHECK_MSG(queries.rows() == row_users.size(), "one user per query row required");
+  NVCIM_CHECK_MSG(shard < snap.shard_capacity.size(), "shard " << shard << " out of range");
   const std::size_t B = queries.rows();
   const std::size_t key_size = queries.cols();
-  out.reset(B, shard_keys(shard));
+  // Bitmaps are sized against the snapshot's score width — the live shard
+  // may be wider already (an admit grew it); the masked kernel treats
+  // columns beyond the bitmap as never-candidates.
+  out.reset(B, snap.shard_capacity[shard]);
 
   const float qmax =
       static_cast<float>(cim::qmax_for_bits(static_cast<int>(cfg_.two_phase.sketch_bits)));
   rs.qsketch.resize(key_size);
 
   for (std::size_t b = 0; b < B; ++b) {
-    const UserSlot& us = slot(row_users[b]);
+    const UserSlot& us = snap.slot(row_users[b]);
     NVCIM_CHECK_MSG(us.shard == shard, "query row " << b << " targets shard " << us.shard
                                                     << ", not " << shard);
-    const UserRouter& router = routers_.at(row_users[b]);
+    const UserRouter& router = *snap.routers.at(row_users[b]);
     const std::size_t k = router.member_begin.size() - 1;
 
     // Sketch the query at the same bit width as the stored planes.
@@ -274,16 +521,23 @@ void ShardedOvtStore::shard_scores_into(std::size_t shard, const Matrix& queries
   NVCIM_CHECK_MSG(built_, "store not built");
   NVCIM_CHECK_MSG(shard < shards_.size(), "shard " << shard << " out of range");
   Shard& s = *shards_[shard];
-  NVCIM_CHECK_MSG(s.retriever != nullptr, "shard " << shard << " holds no keys");
+  // The retriever pointer is read under the shard lock: lifecycle admits
+  // may create it (empty shard) or grow it concurrently.
   std::lock_guard<std::mutex> lock(s.mu);
+  NVCIM_CHECK_MSG(s.retriever != nullptr, "shard " << shard << " holds no keys");
   s.retriever->scores_batch_into(queries, out, scratch, candidates);
 }
 
 std::size_t ShardedOvtStore::retrieve_user(std::size_t user_id, const Matrix& query) {
   NVCIM_CHECK_MSG(built_, "store not built");
-  const UserSlot& us = slot(user_id);
+  // Pin like the batch path does: between reading the slot and scoring it,
+  // a concurrent migrate-then-admit could otherwise reprogram the columns
+  // under this reader.
+  const PinnedDirectory pinned = pin();
+  const UserSlot us = pinned.slot(user_id);
   Shard& s = *shards_[us.shard];
   std::lock_guard<std::mutex> lock(s.mu);
+  NVCIM_CHECK_MSG(s.retriever != nullptr, "shard " << us.shard << " holds no keys");
   const Matrix scores = s.retriever->scores(query);
   return best_in_slot(scores, 0, us);
 }

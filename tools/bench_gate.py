@@ -20,6 +20,12 @@ Policy (chosen so the gate is meaningful across runner generations):
     re-picks a compliant point each run) must stay >=
     ``default_recall_floor``. Absolute floors, not relative ones: a speedup
     bought below the floor is a regression regardless of the baseline.
+  * Impact-ratio leaves (keys ending in ``_impact``, e.g. the churn
+    scenario's p95 ratio of serving-under-churn vs steady serving) are
+    LOWER-is-better and hardware-portable (both sides of the ratio come
+    from the same run): the fresh value must not grow above
+    ``committed * (1 + tolerance)`` — a >25% growth means live
+    migration/router refresh started hurting tail latency.
   * All other leaves (absolute microbench ms, request counts, sweep-point
     recalls, ...) are informational only.
 
@@ -126,6 +132,18 @@ def main():
             if value < floor:
                 failures.append(f"REGRESSED  {dotted}: recall {value:.4f} below "
                                 f"floor {floor:.2f}")
+        elif key.endswith("_impact"):
+            # Lower-is-better ratio (e.g. churn p95 / steady p95): gate the
+            # growth. Ratios are hardware-portable, so this stays active
+            # under --ratios-only.
+            checked += 1
+            ceiling = base * (1.0 + args.tolerance)
+            status = "ok" if value <= ceiling else "REGRESSED"
+            print(f"{status:>9}  {dotted}: {base:.3f} -> {value:.3f} "
+                  f"(ceiling {ceiling:.3f})")
+            if value > ceiling:
+                failures.append(f"REGRESSED  {dotted}: impact ratio {base:.3f} -> "
+                                f"{value:.3f} (allowed ceiling {ceiling:.3f})")
         elif key.endswith("_rps") or "speedup" in key:
             if args.ratios_only and key.endswith("_rps"):
                 continue
