@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <vector>
@@ -417,12 +418,112 @@ void bench_churn(FILE* json, std::size_t n_requests, std::size_t n_users) {
   std::fprintf(json, "    \"steady_rps\": %.0f, \"churn_rps\": %.0f,\n", steady_rps, churn_rps);
   std::fprintf(json, "    \"steady_p95_ms\": %.3f, \"churn_p95_ms\": %.3f,\n",
                steady.p95_latency_ms, churny.p95_latency_ms);
+  std::fprintf(json, "    \"steady_p99_latency_ms\": %.3f, \"churn_p99_latency_ms\": %.3f,\n",
+               steady.p99_latency_ms, churny.p99_latency_ms);
   std::fprintf(json,
                "    \"admits\": %zu, \"evictions\": %zu, \"migrations\": %zu, "
                "\"router_refreshes\": %zu, \"rebalance_ms\": %.2f,\n",
                churny.users_admitted, churny.users_evicted, churny.migrations,
                churny.router_refreshes, churny.rebalance_ms);
   std::fprintf(json, "    \"churn_p95_impact\": %.3f\n  },\n", impact);
+}
+
+/// Observability-overhead microbench: the retrieval-bound B=16 steady
+/// workload served with tracing off vs on (per-thread span rings + the
+/// registry's histogram/counter recording run in both — tracing adds the
+/// span writes). Interleaved best-of-three per side decorrelates machine
+/// drift; the CI gate fails when obs_overhead_frac grows past its ceiling.
+/// The tracing-on run also exports the artifacts CI uploads: a Chrome
+/// trace (trace_serve.json, loadable in Perfetto) and a Prometheus text
+/// dump (metrics_serve.prom).
+void bench_obs(FILE* json, std::size_t n_requests, std::size_t n_users) {
+  WorkloadConfig wc;
+  wc.d_model = 16;
+  wc.code_dim = 24;
+  wc.n_virtual_tokens = 4;
+  wc.ae_hidden = 32;
+  wc.keys_per_user = 48;
+  wc.crossbar_rows = 384;  // the paper's subarray geometry
+  wc.crossbar_cols = 128;
+  wc.key_protos = 6;
+  Workload w(wc, n_users, n_requests);
+
+  const std::size_t shards = 4, threads = 4, batch = 16;
+  std::printf("\n-- observability overhead (tracing off vs on, steady B=%zu, %zu users, "
+              "%zu requests, %zu shards) --\n",
+              batch, n_users, n_requests, shards);
+
+  serve::ServingConfig off_cfg = w.engine_config(shards, threads, batch);
+  off_cfg.min_batch = batch;
+  off_cfg.batch_window_ms = 50.0;
+  serve::ServingConfig on_cfg = off_cfg;
+  on_cfg.tracing.enabled = true;
+  on_cfg.slow_request_ms = 1e6;  // exemplar check armed (branch cost), never firing
+
+  std::size_t trace_events = 0, trace_dropped = 0;
+  const auto run = [&](const serve::ServingConfig& cfg, bool export_artifacts,
+                       serve::StatsSnapshot* stats) {
+    serve::ServingEngine engine(w.model, w.task, cfg);
+    for (std::size_t u = 0; u < w.n_users; ++u)
+      engine.add_deployment(u, w.make_deployment(u));
+    engine.start();
+    const double t0 = now_ms();
+    std::vector<std::future<serve::Response>> futures;
+    for (std::size_t start = 0; start < w.requests.size(); start += batch) {
+      const std::size_t stop = std::min(start + batch, w.requests.size());
+      futures.clear();
+      for (std::size_t i = start; i < stop; ++i)
+        futures.push_back(engine.submit(w.requests[i].first, w.requests[i].second));
+      for (auto& f : futures) f.get();
+    }
+    const double elapsed_ms = now_ms() - t0;
+    *stats = engine.stats();
+    engine.stop();  // quiesce the workers before reading the trace rings
+    if (export_artifacts) {
+      trace_events = engine.tracer().events().size();
+      trace_dropped = static_cast<std::size_t>(engine.tracer().dropped());
+      engine.tracer().write_chrome_trace_file("trace_serve.json");
+      std::ofstream prom("metrics_serve.prom");
+      prom << engine.metrics().prometheus_text();
+    }
+    return 1000.0 * static_cast<double>(w.requests.size()) / elapsed_ms;
+  };
+
+  double off_rps = 0.0, on_rps = 0.0;
+  serve::StatsSnapshot off_stats{}, on_stats{};
+  for (int pass = 0; pass < 3; ++pass) {
+    serve::StatsSnapshot s1, s2;
+    const double r1 = run(off_cfg, false, &s1);
+    const double r2 = run(on_cfg, /*export_artifacts=*/pass == 2, &s2);
+    if (r1 > off_rps) {
+      off_rps = r1;
+      off_stats = s1;
+    }
+    if (r2 > on_rps) {
+      on_rps = r2;
+      on_stats = s2;
+    }
+  }
+
+  const double overhead = std::max(0.0, 1.0 - on_rps / off_rps);
+  std::printf("  %-12s %10.0f req/s   p50 %7.2f ms   p99 %7.2f ms\n", "tracing off",
+              off_rps, off_stats.p50_latency_ms, off_stats.p99_latency_ms);
+  std::printf("  %-12s %10.0f req/s   p50 %7.2f ms   p99 %7.2f ms   (overhead %.2f%%)\n",
+              "tracing on", on_rps, on_stats.p50_latency_ms, on_stats.p99_latency_ms,
+              100.0 * overhead);
+  std::printf("  trace: %zu events (%zu dropped) -> trace_serve.json; metrics -> "
+              "metrics_serve.prom\n",
+              trace_events, trace_dropped);
+  std::fprintf(json,
+               "  \"obs\": {\"users\": %zu, \"requests\": %zu, \"shards\": %zu, "
+               "\"threads\": %zu, \"batch\": %zu,\n",
+               n_users, n_requests, shards, threads, batch);
+  std::fprintf(json, "    \"tracing_off_rps\": %.0f, \"tracing_on_rps\": %.0f,\n", off_rps,
+               on_rps);
+  std::fprintf(json, "    \"tracing_on_p99_latency_ms\": %.3f,\n", on_stats.p99_latency_ms);
+  std::fprintf(json, "    \"trace_events\": %zu, \"trace_dropped\": %zu,\n", trace_events,
+               trace_dropped);
+  std::fprintf(json, "    \"obs_overhead_frac\": %.4f\n  },\n", overhead);
 }
 
 double run_engine(Workload& w, std::size_t shards, std::size_t threads, std::size_t batch,
@@ -699,6 +800,7 @@ int main() {
   bench_retrieval_bound(json, n_requests, n_users);
   bench_two_phase(json, n_requests, n_users);
   bench_churn(json, n_requests, n_users);
+  bench_obs(json, n_requests, n_users);
   bench_encode_bound(json, n_requests, n_users);
 
   Workload w(WorkloadConfig{}, n_users, n_requests);

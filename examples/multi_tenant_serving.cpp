@@ -11,6 +11,12 @@
 // the live crossbars and builds its router — nobody else's bits change), an
 // early user is evicted (its slot is reclaimed once in-flight batches
 // drain), and a rebalance cycle migrates slots if shard loads have skewed.
+//
+// Observability rides along: span tracing is on (request → batch → stage →
+// shard → lifecycle-op spans land in multi_tenant_trace.json, loadable at
+// ui.perfetto.dev or chrome://tracing), every latency feeds per-tenant
+// histograms in the engine's metric registry (Prometheus text dumped
+// below), and requests slower than slow_request_ms leave exemplars.
 
 #include <cstdio>
 #include <future>
@@ -53,6 +59,9 @@ int main() {
   scfg.two_phase.nprobe = 0;
   // Online tenant lifecycle: live admission/eviction + shard rebalancing.
   scfg.lifecycle.enabled = true;
+  // Per-request span tracing + slow-request exemplars (threshold in ms).
+  scfg.tracing.enabled = true;
+  scfg.slow_request_ms = 25.0;
 
   serve::ServingEngine engine(model, task, scfg);
   std::vector<data::UserData> users;
@@ -124,7 +133,10 @@ int main() {
   std::printf("\nserved %zu requests in %zu batches (avg batch %.1f)\n", s.requests, s.batches,
               s.avg_batch_size);
   std::printf("throughput  %8.0f req/s\n", s.throughput_rps);
-  std::printf("latency     p50 %.2f ms   p95 %.2f ms\n", s.p50_latency_ms, s.p95_latency_ms);
+  std::printf("latency     p50 %.2f ms   p95 %.2f ms   p99 %.2f ms\n", s.p50_latency_ms,
+              s.p95_latency_ms, s.p99_latency_ms);
+  std::printf("queue       wait p50 %.2f ms   p95 %.2f ms   depth HWM %zu\n",
+              s.queue_wait_p50_ms, s.queue_wait_p95_ms, s.queue_depth_hwm);
   const double stage_total = s.encode_ms + s.retrieve_ms + s.decode_ms + s.classify_ms;
   std::printf("stages      encode %.1f ms (%.0f%%) | retrieve %.1f ms (%.0f%%) | "
               "decode %.1f ms (%.0f%%) | classify %.1f ms (%.0f%%)\n",
@@ -146,5 +158,40 @@ int main() {
   if (labelled > 0)
     std::printf("accuracy    %.1f%% over %zu classified requests\n",
                 100.0 * static_cast<double>(correct) / static_cast<double>(labelled), labelled);
+
+  // ---- Observability exports: Chrome trace, exemplars, Prometheus text ----
+  if (engine.tracer().write_chrome_trace_file("multi_tenant_trace.json"))
+    std::printf("\ntrace       %zu spans over %zu threads -> multi_tenant_trace.json "
+                "(open in ui.perfetto.dev)\n",
+                engine.tracer().events().size(), engine.tracer().n_threads());
+  const std::vector<serve::SlowRequest> slow = engine.slow_requests();
+  if (!slow.empty()) {
+    std::printf("slow        %zu request(s) over %.0f ms, worst:\n", slow.size(),
+                scfg.slow_request_ms);
+    const serve::SlowRequest* worst = &slow.front();
+    for (const serve::SlowRequest& sr : slow)
+      if (sr.latency_ms > worst->latency_ms) worst = &sr;
+    std::printf("            user %zu batch %llu: %.2f ms (queue %.2f ms; batch stages "
+                "enc %.1f / ret %.1f / dec %.1f / cls %.1f ms)\n",
+                worst->user_id, static_cast<unsigned long long>(worst->batch_id),
+                worst->latency_ms, worst->queue_wait_ms, worst->encode_ms,
+                worst->retrieve_ms, worst->decode_ms, worst->classify_ms);
+  }
+  // The per-tenant slice of the registry — the counters a tiering scheduler
+  // would act on. The full dump is engine.metrics().prometheus_text().
+  std::printf("\nper-tenant metrics (Prometheus excerpt):\n");
+  const std::string prom = engine.metrics().prometheus_text();
+  std::size_t pos = 0, shown = 0;
+  while (shown < 12 && (pos = prom.find("nvcim_tenant_", pos)) != std::string::npos) {
+    const std::size_t bol = prom.rfind('\n', pos) + 1;  // npos + 1 == 0 at start
+    const std::size_t eol = prom.find('\n', pos);
+    const std::string line = prom.substr(pos, eol - pos);
+    if (prom[bol] != '#' &&  // skip HELP/TYPE comments
+        line.find("_bucket") == std::string::npos) {  // skip histogram buckets
+      std::printf("  %s\n", line.c_str());
+      ++shown;
+    }
+    pos = eol;
+  }
   return 0;
 }

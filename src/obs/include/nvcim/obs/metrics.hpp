@@ -1,0 +1,97 @@
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nvcim/obs/histogram.hpp"
+
+namespace nvcim::obs {
+
+namespace detail {
+inline void atomic_add(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Monotonically increasing metric (double-valued so millisecond totals fit
+/// the same primitive as request counts). Lock-free.
+class Counter {
+ public:
+  void inc(double d = 1.0) { detail::atomic_add(v_, d); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Last-value (set) or high-water (update_max) metric. Lock-free.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void update_max(double v) { detail::atomic_max(v_, v); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Metric labels, e.g. {{"tenant", "3"}}. Order is normalized (sorted by
+/// key) when the series key is built, so label order never forks a series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Named metric registry: counters, gauges and histograms, each optionally
+/// labelled (per-tenant, per-stage, per-shard). Lookup is mutex-guarded and
+/// returns a stable reference — callers cache the pointer and record
+/// lock-free ever after. Exposition: Prometheus text format and a JSON dump
+/// (both deterministic: families and series are emitted in sorted order).
+class Registry {
+ public:
+  Counter& counter(const std::string& name, const Labels& labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const Labels& labels = {},
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       const std::string& help = "",
+                       const HistogramConfig& cfg = HistogramConfig{});
+
+  /// Prometheus text exposition format (histograms: cumulative non-empty
+  /// ``_bucket`` series plus ``le="+Inf"``, ``_sum`` and ``_count``).
+  std::string prometheus_text() const;
+  /// The same registry as a JSON object; histograms dump count/sum/min/max
+  /// and p50/p95/p99.
+  std::string json_text() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Series {
+    Labels labels;  ///< normalized (sorted by key)
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::map<std::string, Series> series;  ///< keyed by serialized labels
+  };
+
+  Series& find_or_create(const std::string& name, const Labels& labels,
+                         const std::string& help, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace nvcim::obs

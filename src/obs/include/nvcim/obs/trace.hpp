@@ -1,0 +1,138 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nvcim::obs {
+
+struct TracerConfig {
+  /// Off by default: a disabled tracer records nothing and costs one branch
+  /// per span, so production paths can keep spans compiled in.
+  bool enabled = false;
+  /// Events kept per recording thread; older events are overwritten (the
+  /// ring wraps) and counted as dropped.
+  std::size_t ring_capacity = 1 << 14;
+};
+
+/// One completed span. `name`/`cat` and the arg keys must be string
+/// literals (static storage): events are POD so ring writes never allocate.
+/// Up to two integer args carry the ids that link spans together
+/// (request → batch → stage → shard → lifecycle op).
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  double ts_us = 0.0;   ///< span start, microseconds since tracer epoch
+  double dur_us = 0.0;  ///< span duration
+  std::uint32_t tid = 0;
+  const char* k1 = nullptr;
+  std::int64_t v1 = 0;
+  const char* k2 = nullptr;
+  std::int64_t v2 = 0;
+};
+
+/// Lightweight scoped-span tracer: each recording thread owns a lock-free
+/// ring buffer (registered once under a mutex, written with plain stores +
+/// a release head bump — single writer per ring), timestamps come from one
+/// monotonic clock, and the whole buffer set exports as Chrome
+/// `trace_event` JSON loadable in Perfetto / chrome://tracing.
+///
+/// Reading (events(), write_chrome_trace()) takes a consistent snapshot of
+/// fully-published events; call it after recording threads have quiesced
+/// (e.g. post ServingEngine::stop()) for a complete picture.
+class Tracer {
+ public:
+  explicit Tracer(TracerConfig cfg = TracerConfig{});
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return cfg_.enabled; }
+
+  /// Microseconds since tracer construction (monotonic).
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+  /// A steady_clock timestamp (e.g. a request's enqueue time captured
+  /// before the tracer was consulted) on the tracer's time axis.
+  double to_us(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration<double, std::micro>(tp - epoch_).count();
+  }
+
+  /// Record one completed span [ts_us, end_us) into this thread's ring.
+  /// No-op when disabled.
+  void complete(const char* name, const char* cat, double ts_us, double end_us,
+                const char* k1 = nullptr, std::int64_t v1 = 0,
+                const char* k2 = nullptr, std::int64_t v2 = 0);
+
+  /// All published events across every thread's ring, sorted by start time.
+  std::vector<TraceEvent> events() const;
+  /// Events overwritten by ring wraparound, across all threads.
+  std::uint64_t dropped() const;
+  std::size_t n_threads() const;
+
+  /// Chrome trace_event JSON ("X" complete events + thread-name metadata).
+  void write_chrome_trace(std::ostream& os) const;
+  /// Convenience: write_chrome_trace to `path`. Returns false on I/O error.
+  bool write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t capacity) : slots(capacity) {}
+    std::vector<TraceEvent> slots;
+    std::atomic<std::uint64_t> head{0};  ///< monotonic; slot = head % capacity
+    std::uint32_t tid = 0;
+  };
+
+  Ring& local_ring();
+
+  TracerConfig cfg_;
+  std::uint64_t id_;  ///< globally unique, keys the thread-local ring cache
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII scoped span: stamps start at construction, records into the tracer
+/// at destruction. Near-zero cost when the tracer is null or disabled.
+class Span {
+ public:
+  Span(Tracer* tracer, const char* name, const char* cat,
+       const char* k1 = nullptr, std::int64_t v1 = 0,
+       const char* k2 = nullptr, std::int64_t v2 = 0)
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        name_(name),
+        cat_(cat),
+        k1_(k1),
+        v1_(v1),
+        k2_(k2),
+        v2_(v2) {
+    if (tracer_ != nullptr) ts_us_ = tracer_->now_us();
+  }
+  ~Span() {
+    if (tracer_ != nullptr)
+      tracer_->complete(name_, cat_, ts_us_, tracer_->now_us(), k1_, v1_, k2_, v2_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* cat_;
+  double ts_us_ = 0.0;
+  const char* k1_;
+  std::int64_t v1_;
+  const char* k2_;
+  std::int64_t v2_;
+};
+
+}  // namespace nvcim::obs

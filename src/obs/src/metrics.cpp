@@ -1,0 +1,190 @@
+#include "nvcim/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "nvcim/common/check.hpp"
+
+namespace nvcim::obs {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Escape a label value for both Prometheus and JSON string literals
+/// (backslash, quote, newline — the shared subset).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+Labels normalized(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string series_key(const Labels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    if (!key.empty()) key.push_back(',');
+    key += k;
+    key.push_back('=');
+    key.push_back('"');
+    key += escape(v);
+    key.push_back('"');
+  }
+  return key;
+}
+
+/// `name{labels}` with an optional extra label (the histogram ``le``).
+std::string series_name(const std::string& name, const std::string& key,
+                        const std::string& extra = "") {
+  if (key.empty() && extra.empty()) return name;
+  std::string out = name;
+  out.push_back('{');
+  out += key;
+  if (!extra.empty()) {
+    if (!key.empty()) out.push_back(',');
+    out += extra;
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+Registry::Series& Registry::find_or_create(const std::string& name, const Labels& labels,
+                                           const std::string& help, Kind kind) {
+  NVCIM_CHECK_MSG(!name.empty(), "metric name must be non-empty");
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = families_[name];
+  if (family.series.empty()) {
+    family.kind = kind;
+    family.help = help;
+  } else {
+    NVCIM_CHECK_MSG(family.kind == kind, "metric " << name << " registered with two kinds");
+  }
+  if (family.help.empty() && !help.empty()) family.help = help;
+  const Labels norm = normalized(labels);
+  Series& s = family.series[series_key(norm)];
+  if (s.labels.empty() && !norm.empty()) s.labels = norm;
+  return s;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels,
+                           const std::string& help) {
+  Series& s = find_or_create(name, labels, help, Kind::kCounter);
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels,
+                       const std::string& help) {
+  Series& s = find_or_create(name, labels, help, Kind::kGauge);
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, const Labels& labels,
+                               const std::string& help, const HistogramConfig& cfg) {
+  Series& s = find_or_create(name, labels, help, Kind::kHistogram);
+  if (!s.histogram) s.histogram = std::make_unique<Histogram>(cfg);
+  return *s.histogram;
+}
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) out << "# HELP " << name << ' ' << family.help << '\n';
+    const char* type = family.kind == Kind::kCounter
+                           ? "counter"
+                           : family.kind == Kind::kGauge ? "gauge" : "histogram";
+    out << "# TYPE " << name << ' ' << type << '\n';
+    for (const auto& [key, series] : family.series) {
+      if (series.counter) {
+        out << series_name(name, key) << ' ' << fmt(series.counter->value()) << '\n';
+      } else if (series.gauge) {
+        out << series_name(name, key) << ' ' << fmt(series.gauge->value()) << '\n';
+      } else if (series.histogram) {
+        const Histogram& h = *series.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < h.n_buckets(); ++b) {
+          const std::uint64_t n = h.bucket_count(b);
+          if (n == 0) continue;  // sparse exposition: only occupied buckets
+          cumulative += n;
+          out << series_name(name + "_bucket", key,
+                             "le=\"" + fmt(h.bucket_upper(b)) + "\"")
+              << ' ' << cumulative << '\n';
+        }
+        out << series_name(name + "_bucket", key, "le=\"+Inf\"") << ' ' << h.count()
+            << '\n';
+        out << series_name(name + "_sum", key) << ' ' << fmt(h.sum()) << '\n';
+        out << series_name(name + "_count", key) << ' ' << h.count() << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string Registry::json_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n";
+  bool first_family = true;
+  for (const auto& [name, family] : families_) {
+    if (!first_family) out << ",\n";
+    first_family = false;
+    const char* type = family.kind == Kind::kCounter
+                           ? "counter"
+                           : family.kind == Kind::kGauge ? "gauge" : "histogram";
+    out << "  \"" << name << "\": {\"type\": \"" << type << "\", \"help\": \""
+        << escape(family.help) << "\", \"series\": [";
+    bool first_series = true;
+    for (const auto& [key, series] : family.series) {
+      (void)key;
+      if (!first_series) out << ", ";
+      first_series = false;
+      out << "{\"labels\": {";
+      bool first_label = true;
+      for (const auto& [k, v] : series.labels) {
+        if (!first_label) out << ", ";
+        first_label = false;
+        out << '"' << escape(k) << "\": \"" << escape(v) << '"';
+      }
+      out << "}";
+      if (series.counter) {
+        out << ", \"value\": " << fmt(series.counter->value());
+      } else if (series.gauge) {
+        out << ", \"value\": " << fmt(series.gauge->value());
+      } else if (series.histogram) {
+        const Histogram& h = *series.histogram;
+        out << ", \"count\": " << h.count() << ", \"sum\": " << fmt(h.sum())
+            << ", \"min\": " << fmt(h.min()) << ", \"max\": " << fmt(h.max())
+            << ", \"p50\": " << fmt(h.value_at_quantile(0.50))
+            << ", \"p95\": " << fmt(h.value_at_quantile(0.95))
+            << ", \"p99\": " << fmt(h.value_at_quantile(0.99));
+      }
+      out << "}";
+    }
+    out << "]}";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace nvcim::obs

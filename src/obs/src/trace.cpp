@@ -1,0 +1,134 @@
+#include "nvcim/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "nvcim/common/check.hpp"
+
+namespace nvcim::obs {
+
+namespace {
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+}  // namespace
+
+Tracer::Tracer(TracerConfig cfg)
+    : cfg_(cfg),
+      id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {
+  NVCIM_CHECK_MSG(cfg_.ring_capacity > 0, "tracer ring capacity must be positive");
+}
+
+Tracer::Ring& Tracer::local_ring() {
+  // Per-thread cache keyed by tracer id: ids are never reused, so a stale
+  // entry from a destroyed tracer can never alias a new one. The cache
+  // grows by one entry per (thread, tracer) pair — bounded by the number of
+  // engines a thread ever records into.
+  thread_local std::vector<std::pair<std::uint64_t, Ring*>> cache;
+  for (const auto& [id, ring] : cache)
+    if (id == id_) return *ring;
+  auto owned = std::make_unique<Ring>(cfg_.ring_capacity);
+  Ring* ring = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    ring->tid = static_cast<std::uint32_t>(rings_.size());
+    rings_.push_back(std::move(owned));
+  }
+  cache.emplace_back(id_, ring);
+  return *ring;
+}
+
+void Tracer::complete(const char* name, const char* cat, double ts_us, double end_us,
+                      const char* k1, std::int64_t v1, const char* k2, std::int64_t v2) {
+  if (!cfg_.enabled) return;
+  Ring& ring = local_ring();
+  const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  TraceEvent& slot = ring.slots[head % ring.slots.size()];
+  slot.name = name;
+  slot.cat = cat;
+  slot.ts_us = ts_us;
+  slot.dur_us = end_us - ts_us;
+  slot.tid = ring.tid;
+  slot.k1 = k1;
+  slot.v1 = v1;
+  slot.k2 = k2;
+  slot.v2 = v2;
+  // Publish after the slot is fully written: a reader that acquires `head`
+  // sees every slot below it.
+  ring.head.store(head + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t cap = ring->slots.size();
+    const std::uint64_t n = std::min(head, cap);
+    for (std::uint64_t i = head - n; i < head; ++i)
+      out.push_back(ring->slots[i % cap]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t dropped = 0;
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    if (head > ring->slots.size()) dropped += head - ring->slots.size();
+  }
+  return dropped;
+}
+
+std::size_t Tracer::n_threads() const {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  return rings_.size();
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  const std::vector<TraceEvent> evs = events();
+  std::size_t n_tids = 0;
+  for (const TraceEvent& e : evs) n_tids = std::max<std::size_t>(n_tids, e.tid + 1);
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (std::size_t t = 0; t < n_tids; ++t) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " << t
+       << ", \"args\": {\"name\": \"worker-" << t << "\"}}";
+  }
+  char buf[256];
+  for (const TraceEvent& e : evs) {
+    if (!first) os << ',';
+    first = false;
+    // name/cat/arg keys are caller-provided string literals (no escaping).
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, "
+                  "\"dur\": %.3f, \"pid\": 1, \"tid\": %u",
+                  e.name, e.cat, e.ts_us, e.dur_us, e.tid);
+    os << buf;
+    if (e.k1 != nullptr || e.k2 != nullptr) {
+      os << ", \"args\": {";
+      if (e.k1 != nullptr) os << '"' << e.k1 << "\": " << e.v1;
+      if (e.k2 != nullptr) {
+        if (e.k1 != nullptr) os << ", ";
+        os << '"' << e.k2 << "\": " << e.v2;
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+bool Tracer::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_chrome_trace(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace nvcim::obs

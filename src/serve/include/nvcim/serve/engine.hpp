@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "nvcim/core/framework.hpp"
+#include "nvcim/obs/trace.hpp"
 #include "nvcim/serve/lru_cache.hpp"
 #include "nvcim/serve/ovt_store.hpp"
 #include "nvcim/serve/stats.hpp"
@@ -52,6 +53,13 @@ struct ServingConfig {
   /// serving, over an epoch-versioned mutable store. Off by default — the
   /// build-once PR 4 store.
   LifecycleConfig lifecycle;
+  /// Span tracing (off by default): request/batch/stage/shard/lifecycle
+  /// spans into per-thread ring buffers, exportable as Chrome trace_event
+  /// JSON via tracer().write_chrome_trace_file().
+  obs::TracerConfig tracing;
+  /// >0: requests slower than this leave a SlowRequest exemplar (latency +
+  /// queue-wait + the carrying batch's stage breakdown) in EngineStats.
+  double slow_request_ms = 0.0;
   retrieval::Algorithm algorithm = retrieval::Algorithm::SSA;
   retrieval::ScaledSearchConfig ssa;
   cim::CrossbarConfig crossbar;
@@ -159,6 +167,15 @@ class ServingEngine {
   const ShardedOvtStore& store() const { return store_; }
   const core::TrainedDeployment& deployment(std::size_t user_id) const;
   StatsSnapshot stats() const { return stats_.snapshot(); }
+  /// The engine's span tracer (enabled via ServingConfig::tracing). Export
+  /// after stop() for a complete trace.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+  /// The metric registry behind EngineStats: Prometheus text / JSON
+  /// exposition of every counter, gauge and histogram (per-tenant included).
+  const obs::Registry& metrics() const { return stats_.registry(); }
+  /// Slow-request exemplars captured so far (ServingConfig::slow_request_ms).
+  std::vector<SlowRequest> slow_requests() const { return stats_.slow_requests(); }
   std::size_t cache_evictions() const;
   /// Autoencoder decodes actually executed (cache misses that won the
   /// single-flight race). With a cold cache, no evictions and any amount of
@@ -280,6 +297,8 @@ class ServingEngine {
   bool stopping_ = false;  ///< guarded by queue_mu_
 
   EngineStats stats_;
+  obs::Tracer tracer_;
+  std::atomic<std::uint64_t> next_batch_id_{0};  ///< links batch/stage/shard spans
 };
 
 }  // namespace nvcim::serve

@@ -1,10 +1,14 @@
 #pragma once
 
-#include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
+
+#include "nvcim/obs/metrics.hpp"
 
 namespace nvcim::serve {
 
@@ -16,9 +20,21 @@ struct StatsSnapshot {
   std::size_t cache_misses = 0;
   double cache_hit_rate = 0.0;
   double avg_batch_size = 0.0;
-  double throughput_rps = 0.0;  ///< requests per wall-clock second since start
-  double p50_latency_ms = 0.0;  ///< submit → response, per request
+  /// Requests per wall-clock second since start. The clock freezes at
+  /// stop(), so post-shutdown snapshots are stable instead of decaying
+  /// toward zero against a still-running wall clock.
+  double throughput_rps = 0.0;
+  // Latency percentiles (submit → response) from the log-linear histogram:
+  // O(buckets) reads, within ~1.6% of the exact values (property-tested).
+  double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  // Queue-wait vs service-time split (submit → batch dequeue, from the
+  // per-request `enqueued` timestamp that previously only fed total latency).
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p95_ms = 0.0;
+  /// Deepest the bounded request queue has been at any enqueue.
+  std::size_t queue_depth_hwm = 0;
   // Cumulative per-stage wall-clock across all processed batches (the four
   // stages of ServingEngine::process_batch).
   double encode_ms = 0.0;    ///< batched query encode (embed+resample+GEMM)
@@ -61,183 +77,137 @@ struct StatsSnapshot {
   std::size_t rejected_requests = 0;
 };
 
-/// Thread-safe request/batch/latency accounting for a serving engine.
-/// Latency samples are kept in full (serving runs here are 1e2–1e5 requests,
-/// not production scale), so percentiles are exact.
+/// One slow-request exemplar: a request whose latency crossed the engine's
+/// slow_request_ms threshold, with its span tree flattened to the stage
+/// wall-clock of the batch that carried it.
+struct SlowRequest {
+  std::size_t user_id = 0;
+  std::uint64_t batch_id = 0;
+  double latency_ms = 0.0;
+  double queue_wait_ms = 0.0;
+  double encode_ms = 0.0;
+  double retrieve_ms = 0.0;
+  double decode_ms = 0.0;
+  double classify_ms = 0.0;
+};
+
+/// Thread-safe request/batch/latency accounting for a serving engine,
+/// built on the nvcim::obs primitives: latency, queue-wait and service-time
+/// land in lock-free log-linear histograms (p50/p95/p99 from O(buckets)
+/// merges, not sort-under-mutex over an unbounded exact vector), counters
+/// and gauges live in an obs::Registry with per-tenant labels, and the
+/// whole set exposes as Prometheus text / JSON via registry().
 class EngineStats {
  public:
-  void start_clock() {
-    std::lock_guard<std::mutex> lock(mu_);
-    start_ = Clock::now();
-    started_ = true;
-  }
+  EngineStats();
 
-  void record_request(double latency_ms, bool cache_hit) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++requests_;
-    cache_hit ? ++cache_hits_ : ++cache_misses_;
-    latencies_ms_.push_back(latency_ms);
-  }
+  void start_clock();
+  /// Freeze the throughput clock (idempotent): snapshots taken after the
+  /// engine stops keep reporting the rate it actually served at.
+  void stop_clock();
 
-  void record_batch(std::size_t batch_size) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++batches_;
-    batched_requests_ += batch_size;
-  }
+  /// Record one completed request: its end-to-end latency, the queue-wait
+  /// share of it and which tenant it belonged to.
+  void record_request(std::size_t user_id, double latency_ms, double queue_wait_ms,
+                      bool cache_hit);
+
+  /// Record the queue depth observed at one enqueue (drives the
+  /// queue_depth_hwm gauge).
+  void record_queue_depth(std::size_t depth);
+
+  void record_batch(std::size_t batch_size);
 
   /// Accumulate one batch's per-stage wall-clock (milliseconds).
   void record_stage_times(double encode_ms, double retrieve_ms, double decode_ms,
-                          double classify_ms) {
-    std::lock_guard<std::mutex> lock(mu_);
-    encode_ms_ += encode_ms;
-    retrieve_ms_ += retrieve_ms;
-    decode_ms_ += decode_ms;
-    classify_ms_ += classify_ms;
-  }
+                          double classify_ms);
 
   /// Accumulate one shard retrieval's wall-clock (milliseconds).
-  void record_shard_time(std::size_t shard, double ms) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shard >= shard_retrieve_ms_.size()) shard_retrieve_ms_.resize(shard + 1, 0.0);
-    shard_retrieve_ms_[shard] += ms;
-  }
+  void record_shard_time(std::size_t shard, double ms);
 
   /// Count one batch whose retrieve stage ran shards in parallel.
-  void record_parallel_fanout() {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++parallel_retrieve_fanouts_;
-  }
+  void record_parallel_fanout();
 
   /// Accumulate one routed shard pass's candidate counts (keys the masked
   /// pass scored vs keys a full pass would have scored).
-  void record_two_phase(std::size_t examined, std::size_t possible) {
-    std::lock_guard<std::mutex> lock(mu_);
-    candidates_examined_ += examined;
-    candidates_possible_ += possible;
-  }
+  void record_two_phase(std::size_t examined, std::size_t possible);
+
+  /// Accumulate one tenant's routed-candidate count (per-tenant counter:
+  /// which tenant is eating the crossbar).
+  void record_tenant_candidates(std::size_t user_id, std::size_t candidates);
 
   /// Accumulate one sampled recall-vs-exact comparison.
-  void record_recall_sample(std::size_t rows, std::size_t matches) {
-    std::lock_guard<std::mutex> lock(mu_);
-    recall_samples_ += rows;
-    recall_matches_ += matches;
-  }
+  void record_recall_sample(std::size_t rows, std::size_t matches);
 
   /// Count one decode GEMM that stacked several missed payloads.
-  void record_batched_decode() {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++batched_decode_gemms_;
-  }
+  void record_batched_decode();
 
   /// Count one live admission (and its router build, when routed).
-  void record_admission(bool router_refreshed) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++users_admitted_;
-    if (router_refreshed) ++router_refreshes_;
-  }
-
-  void record_eviction() {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++users_evicted_;
-  }
-
-  void record_migration() {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++migrations_;
-  }
-
+  void record_admission(bool router_refreshed);
+  void record_eviction();
+  void record_migration();
   /// Accumulate one rebalance() cycle's wall-clock.
-  void record_rebalance(double ms) {
-    std::lock_guard<std::mutex> lock(mu_);
-    rebalance_ms_ += ms;
-  }
+  void record_rebalance(double ms);
+  void record_rejection();
 
-  void record_rejection() {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++rejected_requests_;
-  }
+  /// Keep one slow-request exemplar (bounded: the most recent kMaxSlow).
+  void record_slow_request(const SlowRequest& slow);
+  std::vector<SlowRequest> slow_requests() const;
 
-  StatsSnapshot snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    StatsSnapshot s;
-    s.requests = requests_;
-    s.batches = batches_;
-    s.cache_hits = cache_hits_;
-    s.cache_misses = cache_misses_;
-    const std::size_t probes = cache_hits_ + cache_misses_;
-    if (probes > 0) s.cache_hit_rate = static_cast<double>(cache_hits_) / probes;
-    if (batches_ > 0) s.avg_batch_size = static_cast<double>(batched_requests_) / batches_;
-    if (started_ && requests_ > 0) {
-      const double secs = std::chrono::duration<double>(Clock::now() - start_).count();
-      if (secs > 0.0) s.throughput_rps = static_cast<double>(requests_) / secs;
-    }
-    if (!latencies_ms_.empty()) {
-      std::vector<double> sorted = latencies_ms_;
-      std::sort(sorted.begin(), sorted.end());
-      s.p50_latency_ms = percentile(sorted, 0.50);
-      s.p95_latency_ms = percentile(sorted, 0.95);
-    }
-    s.encode_ms = encode_ms_;
-    s.retrieve_ms = retrieve_ms_;
-    s.decode_ms = decode_ms_;
-    s.classify_ms = classify_ms_;
-    s.shard_retrieve_ms = shard_retrieve_ms_;
-    s.parallel_retrieve_fanouts = parallel_retrieve_fanouts_;
-    s.candidates_examined = candidates_examined_;
-    s.candidates_possible = candidates_possible_;
-    if (candidates_possible_ > 0)
-      s.pruned_fraction = 1.0 - static_cast<double>(candidates_examined_) /
-                                    static_cast<double>(candidates_possible_);
-    s.recall_samples = recall_samples_;
-    s.recall_matches = recall_matches_;
-    if (recall_samples_ > 0)
-      s.sampled_recall_at1 =
-          static_cast<double>(recall_matches_) / static_cast<double>(recall_samples_);
-    s.batched_decode_gemms = batched_decode_gemms_;
-    s.users_admitted = users_admitted_;
-    s.users_evicted = users_evicted_;
-    s.migrations = migrations_;
-    s.router_refreshes = router_refreshes_;
-    s.rebalance_ms = rebalance_ms_;
-    s.rejected_requests = rejected_requests_;
-    return s;
-  }
+  StatsSnapshot snapshot() const;
+
+  /// The metric registry behind this stats object — Prometheus text /
+  /// JSON exposition via registry().prometheus_text() / json_text().
+  const obs::Registry& registry() const { return registry_; }
+  obs::Registry& registry() { return registry_; }
 
  private:
   using Clock = std::chrono::steady_clock;
+  static constexpr std::size_t kMaxSlow = 64;
 
-  static double percentile(const std::vector<double>& sorted, double q) {
-    const std::size_t idx =
-        static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(idx, sorted.size() - 1)];
-  }
+  struct TenantMetrics {
+    obs::Counter* requests = nullptr;
+    obs::Counter* candidates = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+  /// Cached per-tenant metric pointers (creates the labelled series on
+  /// first sight). Caller must hold mu_.
+  TenantMetrics& tenant_locked(std::size_t user_id);
 
-  mutable std::mutex mu_;
+  obs::Registry registry_;
+  // Hot metrics, owned by the registry (stable pointers, lock-free writes).
+  obs::Histogram* latency_;
+  obs::Histogram* queue_wait_;
+  obs::Histogram* service_;
+  obs::Gauge* queue_depth_hwm_;
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
+  obs::Counter* batches_;
+  obs::Counter* batched_requests_;
+  obs::Counter* encode_ms_;
+  obs::Counter* retrieve_ms_;
+  obs::Counter* decode_ms_;
+  obs::Counter* classify_ms_;
+  obs::Counter* parallel_fanouts_;
+  obs::Counter* candidates_examined_;
+  obs::Counter* candidates_possible_;
+  obs::Counter* recall_samples_;
+  obs::Counter* recall_matches_;
+  obs::Counter* batched_decodes_;
+  obs::Counter* admitted_;
+  obs::Counter* evicted_;
+  obs::Counter* migrations_;
+  obs::Counter* router_refreshes_;
+  obs::Counter* rebalance_ms_;
+  obs::Counter* rejected_;
+
+  mutable std::mutex mu_;  ///< guards clock state, shard/tenant caches, slow_
   Clock::time_point start_{};
+  Clock::time_point stop_{};
   bool started_ = false;
-  std::size_t requests_ = 0;
-  std::size_t batches_ = 0;
-  std::size_t batched_requests_ = 0;
-  std::size_t cache_hits_ = 0;
-  std::size_t cache_misses_ = 0;
-  double encode_ms_ = 0.0;
-  double retrieve_ms_ = 0.0;
-  double decode_ms_ = 0.0;
-  double classify_ms_ = 0.0;
-  std::vector<double> shard_retrieve_ms_;
-  std::size_t parallel_retrieve_fanouts_ = 0;
-  std::size_t candidates_examined_ = 0;
-  std::size_t candidates_possible_ = 0;
-  std::size_t recall_samples_ = 0;
-  std::size_t recall_matches_ = 0;
-  std::size_t batched_decode_gemms_ = 0;
-  std::size_t users_admitted_ = 0;
-  std::size_t users_evicted_ = 0;
-  std::size_t migrations_ = 0;
-  std::size_t router_refreshes_ = 0;
-  double rebalance_ms_ = 0.0;
-  std::size_t rejected_requests_ = 0;
-  std::vector<double> latencies_ms_;
+  bool stopped_ = false;
+  std::vector<obs::Counter*> shard_ms_;  ///< per-shard labelled counters
+  std::unordered_map<std::size_t, TenantMetrics> tenants_;
+  std::deque<SlowRequest> slow_;
 };
 
 }  // namespace nvcim::serve

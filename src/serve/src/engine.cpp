@@ -32,7 +32,8 @@ ServingEngine::ServingEngine(llm::TinyLM& model, const data::LampTask& task, Ser
       task_(&task),
       cfg_(cfg),
       store_(store_config(cfg)),
-      cache_(cfg.cache_capacity) {
+      cache_(cfg.cache_capacity),
+      tracer_(cfg.tracing) {
   NVCIM_CHECK_MSG(cfg_.n_threads > 0, "engine needs at least one worker");
   NVCIM_CHECK_MSG(cfg_.max_batch > 0, "max_batch must be positive");
   NVCIM_CHECK_MSG(cfg_.queue_capacity > 0, "queue_capacity must be positive");
@@ -67,6 +68,8 @@ void ServingEngine::admit_user(std::size_t user_id, core::TrainedDeployment depl
   NVCIM_CHECK_MSG(deployment.autoencoder != nullptr,
                   "deployment for user " << user_id << " has no autoencoder");
   auto owned = std::make_shared<const core::TrainedDeployment>(std::move(deployment));
+  obs::Span span(&tracer_, "admit_user", "lifecycle", "user",
+                 static_cast<std::int64_t>(user_id));
   // Deployment first, directory second: the moment a batch can see the
   // user's slot, its deployment must resolve.
   std::uint64_t generation = 0;
@@ -97,6 +100,8 @@ void ServingEngine::admit_user(std::size_t user_id, core::TrainedDeployment depl
 
 void ServingEngine::evict_user(std::size_t user_id) {
   NVCIM_CHECK_MSG(cfg_.lifecycle.enabled, "tenant lifecycle disabled in this engine");
+  obs::Span span(&tracer_, "evict_user", "lifecycle", "user",
+                 static_cast<std::int64_t>(user_id));
   // Unpublish the slot first (new batches stop seeing the user), then drop
   // the deployment (in-flight batches hold their own shared_ptr), then
   // purge the user's decoded prompts. Cache keys carry the admission
@@ -123,6 +128,7 @@ void ServingEngine::evict_user(std::size_t user_id) {
 
 std::size_t ServingEngine::rebalance() {
   NVCIM_CHECK_MSG(cfg_.lifecycle.enabled, "tenant lifecycle disabled in this engine");
+  obs::Span span(&tracer_, "rebalance", "lifecycle");
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<Migration> plan = store_.plan_rebalance();
   std::atomic<std::size_t> migrated{0};
@@ -134,6 +140,9 @@ std::size_t ServingEngine::rebalance() {
   // republishes the directory. A migration that fails (e.g. the user was
   // evicted between planning and execution) is skipped, never fatal.
   const auto migrate_one = [&](const Migration& m) {
+    obs::Span mspan(&tracer_, "migrate_user", "lifecycle", "user",
+                    static_cast<std::int64_t>(m.user_id), "to_shard",
+                    static_cast<std::int64_t>(m.to_shard));
     try {
       store_.migrate_user(m.user_id, m.to_shard);
       stats_.record_migration();
@@ -223,6 +232,10 @@ void ServingEngine::stop() {
   for (std::thread& w : workers_) w.join();
   workers_.clear();
   running_ = false;
+  // Freeze the throughput clock: every request is accounted for once the
+  // workers have drained, so later snapshots stay stable instead of diving
+  // toward zero against a still-running wall clock.
+  stats_.stop_clock();
 }
 
 std::future<Response> ServingEngine::submit(std::size_t user_id, data::Sample query) {
@@ -243,6 +256,7 @@ std::future<Response> ServingEngine::submit(std::size_t user_id, data::Sample qu
     capacity_cv_.wait(lock, [this] { return queue_.size() < cfg_.queue_capacity || stopping_; });
     NVCIM_CHECK_MSG(!stopping_, "engine is stopping");
     queue_.push_back(std::move(p));
+    stats_.record_queue_depth(queue_.size());
   }
   queue_cv_.notify_one();
   return fut;
@@ -268,6 +282,7 @@ std::optional<std::future<Response>> ServingEngine::try_submit(std::size_t user_
       return std::nullopt;
     }
     queue_.push_back(std::move(p));
+    stats_.record_queue_depth(queue_.size());
   }
   queue_cv_.notify_one();
   return fut;
@@ -349,6 +364,21 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
     return ms;
   };
 
+  // Ids link the span tree together: every stage/shard span carries this
+  // batch id, every request span carries it too, so a Perfetto query can
+  // walk request → batch → stage → shard.
+  const std::uint64_t batch_id = next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+  const Clock::time_point batch_start = tick;
+  obs::Span batch_span(&tracer_, "process_batch", "batch", "batch",
+                       static_cast<std::int64_t>(batch_id), "B",
+                       static_cast<std::int64_t>(B));
+  const auto trace_stage = [&](const char* name, Clock::time_point t0,
+                               Clock::time_point t1) {
+    if (tracer_.enabled())
+      tracer_.complete(name, "stage", tracer_.to_us(t0), tracer_.to_us(t1), "batch",
+                       static_cast<std::int64_t>(batch_id));
+  };
+
   // Pin the tenant directory: every stage of this batch resolves slots,
   // routers and shard widths against this one epoch, however many admits /
   // evictions / migrations land while the batch is in flight. The pin also
@@ -422,7 +452,9 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
       }
     }
   }
+  const Clock::time_point encode_t0 = tick;
   const double encode_ms = lap();
+  trace_stage("encode", encode_t0, tick);
 
   // ---- Stage 2: shard-grouped retrieval. One batched MVM pass per shard;
   // each row is then masked to its user's slot. Shard ids are dense, so a
@@ -478,6 +510,7 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
           const std::size_t i = members[r];
           ovt_index[i] = ShardedOvtStore::best_in_slot_candidates(
               tws.shard_scores, r, pinned.slot(batch[i].user_id), tws.candidates);
+          stats_.record_tenant_candidates(batch[i].user_id, tws.candidates.count_row(r));
         }
         stats_.record_two_phase(examined,
                                 members.size() * pinned.snap->shard_capacity[shard]);
@@ -506,7 +539,12 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
       for (const std::size_t i : members)
         if (!failed[i]) fail(i);
     }
-    stats_.record_shard_time(shard, ms_between(t0, Clock::now()));
+    const Clock::time_point t1 = Clock::now();
+    stats_.record_shard_time(shard, ms_between(t0, t1));
+    if (tracer_.enabled())
+      tracer_.complete("shard_retrieve", "shard", tracer_.to_us(t0), tracer_.to_us(t1),
+                       "shard", static_cast<std::int64_t>(shard), "batch",
+                       static_cast<std::int64_t>(batch_id));
   };
 
   std::vector<std::size_t> active_shards;
@@ -563,7 +601,9 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
   } else {
     for (const std::size_t shard : active_shards) retrieve_shard(shard, ws);
   }
+  const Clock::time_point retrieve_t0 = tick;
   const double retrieve_ms = lap();
+  trace_stage("retrieve", retrieve_t0, tick);
 
   // ---- Stage 3: decoded-prompt fetch through the cache. One lock pass
   // probes the cache and registers this worker as the single-flight leader
@@ -706,7 +746,9 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
       fail(i);
     }
   }
+  const Clock::time_point decode_t0 = tick;
   const double decode_ms = lap();
+  trace_stage("decode", decode_t0, tick);
 
   // ---- Stage 4: optional classification — deduplicated up front, the
   // unique forwards batched through TinyLM::classify_batch (one embedding
@@ -759,6 +801,7 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
       labelled[i] = labelled[dup_of[i]];
     }
   }
+  std::vector<SlowRequest> slow;
   for (std::size_t i = 0; i < B; ++i) {
     if (failed[i]) continue;
     Pending& p = batch[i];
@@ -775,16 +818,43 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
         resp.label = labels[i];
         resp.has_label = true;
       }
-      resp.latency_ms = ms_between(p.enqueued, std::chrono::steady_clock::now());
-      stats_.record_request(resp.latency_ms, resp.cache_hit);
+      const Clock::time_point done = Clock::now();
+      resp.latency_ms = ms_between(p.enqueued, done);
+      // Queue wait = submit → batch dequeue; the rest of the latency is
+      // service time. Clamped non-negative for requests enqueued mid-window.
+      const double wait_ms =
+          std::max(0.0, std::min(resp.latency_ms, ms_between(p.enqueued, batch_start)));
+      stats_.record_request(p.user_id, resp.latency_ms, wait_ms, resp.cache_hit);
+      if (tracer_.enabled())
+        tracer_.complete("request", "request", tracer_.to_us(p.enqueued),
+                         tracer_.to_us(done), "user",
+                         static_cast<std::int64_t>(p.user_id), "batch",
+                         static_cast<std::int64_t>(batch_id));
+      if (cfg_.slow_request_ms > 0.0 && resp.latency_ms >= cfg_.slow_request_ms) {
+        SlowRequest sr;
+        sr.user_id = p.user_id;
+        sr.batch_id = batch_id;
+        sr.latency_ms = resp.latency_ms;
+        sr.queue_wait_ms = wait_ms;
+        slow.push_back(sr);  // stage times filled in below, once classify laps
+      }
       p.promise.set_value(std::move(resp));
     } catch (...) {
       fail(i);
     }
   }
+  const Clock::time_point classify_t0 = tick;
   const double classify_ms = lap();
+  trace_stage("classify", classify_t0, tick);
 
   stats_.record_stage_times(encode_ms, retrieve_ms, decode_ms, classify_ms);
+  for (SlowRequest& sr : slow) {
+    sr.encode_ms = encode_ms;
+    sr.retrieve_ms = retrieve_ms;
+    sr.decode_ms = decode_ms;
+    sr.classify_ms = classify_ms;
+    stats_.record_slow_request(sr);
+  }
 }
 
 std::shared_ptr<const Matrix> ServingEngine::prompt_locked_fetch(

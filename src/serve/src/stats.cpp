@@ -1,0 +1,236 @@
+#include "nvcim/serve/stats.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace nvcim::serve {
+
+namespace {
+
+/// Latency-scale histograms: 1 µs resolution up to ~134 s in milliseconds.
+obs::HistogramConfig latency_buckets() { return obs::HistogramConfig{}; }
+
+}  // namespace
+
+EngineStats::EngineStats()
+    : latency_(&registry_.histogram("nvcim_request_latency_ms", {},
+                                    "submit -> response latency per request (ms)",
+                                    latency_buckets())),
+      queue_wait_(&registry_.histogram("nvcim_queue_wait_ms", {},
+                                       "submit -> batch dequeue wait per request (ms)",
+                                       latency_buckets())),
+      service_(&registry_.histogram("nvcim_service_time_ms", {},
+                                    "batch dequeue -> response per request (ms)",
+                                    latency_buckets())),
+      queue_depth_hwm_(&registry_.gauge("nvcim_queue_depth_hwm", {},
+                                        "deepest request queue seen at enqueue")),
+      cache_hits_(&registry_.counter("nvcim_prompt_cache_hits_total", {},
+                                     "decoded-prompt LRU hits")),
+      cache_misses_(&registry_.counter("nvcim_prompt_cache_misses_total", {},
+                                       "decoded-prompt LRU misses")),
+      batches_(&registry_.counter("nvcim_batches_total", {}, "batches processed")),
+      batched_requests_(&registry_.counter("nvcim_batched_requests_total", {},
+                                           "requests summed over processed batches")),
+      encode_ms_(&registry_.counter("nvcim_stage_ms_total", {{"stage", "encode"}},
+                                    "cumulative stage wall-clock (ms)")),
+      retrieve_ms_(&registry_.counter("nvcim_stage_ms_total", {{"stage", "retrieve"}})),
+      decode_ms_(&registry_.counter("nvcim_stage_ms_total", {{"stage", "decode"}})),
+      classify_ms_(&registry_.counter("nvcim_stage_ms_total", {{"stage", "classify"}})),
+      parallel_fanouts_(&registry_.counter("nvcim_parallel_retrieve_fanouts_total", {},
+                                           "batches whose shards fanned out")),
+      candidates_examined_(&registry_.counter("nvcim_candidates_examined_total", {},
+                                              "key columns the masked pass scored")),
+      candidates_possible_(&registry_.counter("nvcim_candidates_possible_total", {},
+                                              "key columns a full pass would score")),
+      recall_samples_(&registry_.counter("nvcim_recall_samples_total", {},
+                                         "rows compared against exact scoring")),
+      recall_matches_(&registry_.counter("nvcim_recall_matches_total", {},
+                                         "sampled rows whose winner matched exact")),
+      batched_decodes_(&registry_.counter("nvcim_batched_decode_gemms_total", {},
+                                          "decode GEMMs stacking >1 payload")),
+      admitted_(&registry_.counter("nvcim_users_admitted_total", {},
+                                   "live admissions after start()")),
+      evicted_(&registry_.counter("nvcim_users_evicted_total", {}, "live evictions")),
+      migrations_(&registry_.counter("nvcim_migrations_total", {},
+                                     "user slots moved between shards")),
+      router_refreshes_(&registry_.counter("nvcim_router_refreshes_total", {},
+                                           "candidate routers (re)built")),
+      rebalance_ms_(&registry_.counter("nvcim_rebalance_ms_total", {},
+                                       "cumulative rebalance() wall-clock (ms)")),
+      rejected_(&registry_.counter("nvcim_requests_rejected_total", {},
+                                   "try_submit() rejections (queue full)")) {}
+
+void EngineStats::start_clock() {
+  std::lock_guard<std::mutex> lock(mu_);
+  start_ = Clock::now();
+  started_ = true;
+  stopped_ = false;
+}
+
+void EngineStats::stop_clock() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ && !stopped_) {
+    stop_ = Clock::now();
+    stopped_ = true;
+  }
+}
+
+EngineStats::TenantMetrics& EngineStats::tenant_locked(std::size_t user_id) {
+  TenantMetrics& tm = tenants_[user_id];
+  if (tm.requests == nullptr) {
+    const obs::Labels labels{{"tenant", std::to_string(user_id)}};
+    tm.requests = &registry_.counter("nvcim_tenant_requests_total", labels,
+                                     "requests served per tenant");
+    tm.candidates = &registry_.counter("nvcim_tenant_candidates_total", labels,
+                                       "routed candidate keys scored per tenant");
+    tm.latency = &registry_.histogram("nvcim_tenant_request_latency_ms", labels,
+                                      "per-tenant submit -> response latency (ms)",
+                                      latency_buckets());
+  }
+  return tm;
+}
+
+void EngineStats::record_request(std::size_t user_id, double latency_ms,
+                                 double queue_wait_ms, bool cache_hit) {
+  latency_->record(latency_ms);
+  queue_wait_->record(queue_wait_ms);
+  service_->record(std::max(0.0, latency_ms - queue_wait_ms));
+  (cache_hit ? cache_hits_ : cache_misses_)->inc();
+  obs::Histogram* tenant_latency = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TenantMetrics& tm = tenant_locked(user_id);
+    tm.requests->inc();
+    tenant_latency = tm.latency;
+  }
+  tenant_latency->record(latency_ms);
+}
+
+void EngineStats::record_queue_depth(std::size_t depth) {
+  queue_depth_hwm_->update_max(static_cast<double>(depth));
+}
+
+void EngineStats::record_batch(std::size_t batch_size) {
+  batches_->inc();
+  batched_requests_->inc(static_cast<double>(batch_size));
+}
+
+void EngineStats::record_stage_times(double encode_ms, double retrieve_ms,
+                                     double decode_ms, double classify_ms) {
+  encode_ms_->inc(encode_ms);
+  retrieve_ms_->inc(retrieve_ms);
+  decode_ms_->inc(decode_ms);
+  classify_ms_->inc(classify_ms);
+}
+
+void EngineStats::record_shard_time(std::size_t shard, double ms) {
+  obs::Counter* counter = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shard >= shard_ms_.size()) shard_ms_.resize(shard + 1, nullptr);
+    if (shard_ms_[shard] == nullptr)
+      shard_ms_[shard] = &registry_.counter("nvcim_shard_retrieve_ms_total",
+                                            {{"shard", std::to_string(shard)}},
+                                            "cumulative per-shard retrieval (ms)");
+    counter = shard_ms_[shard];
+  }
+  counter->inc(ms);
+}
+
+void EngineStats::record_parallel_fanout() { parallel_fanouts_->inc(); }
+
+void EngineStats::record_two_phase(std::size_t examined, std::size_t possible) {
+  candidates_examined_->inc(static_cast<double>(examined));
+  candidates_possible_->inc(static_cast<double>(possible));
+}
+
+void EngineStats::record_tenant_candidates(std::size_t user_id, std::size_t candidates) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tenant_locked(user_id).candidates->inc(static_cast<double>(candidates));
+}
+
+void EngineStats::record_recall_sample(std::size_t rows, std::size_t matches) {
+  recall_samples_->inc(static_cast<double>(rows));
+  recall_matches_->inc(static_cast<double>(matches));
+}
+
+void EngineStats::record_batched_decode() { batched_decodes_->inc(); }
+
+void EngineStats::record_admission(bool router_refreshed) {
+  admitted_->inc();
+  if (router_refreshed) router_refreshes_->inc();
+}
+
+void EngineStats::record_eviction() { evicted_->inc(); }
+
+void EngineStats::record_migration() { migrations_->inc(); }
+
+void EngineStats::record_rebalance(double ms) { rebalance_ms_->inc(ms); }
+
+void EngineStats::record_rejection() { rejected_->inc(); }
+
+void EngineStats::record_slow_request(const SlowRequest& slow) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_.push_back(slow);
+  if (slow_.size() > kMaxSlow) slow_.pop_front();
+}
+
+std::vector<SlowRequest> EngineStats::slow_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowRequest>(slow_.begin(), slow_.end());
+}
+
+StatsSnapshot EngineStats::snapshot() const {
+  StatsSnapshot s;
+  s.requests = static_cast<std::size_t>(latency_->count());
+  s.batches = static_cast<std::size_t>(batches_->value());
+  s.cache_hits = static_cast<std::size_t>(cache_hits_->value());
+  s.cache_misses = static_cast<std::size_t>(cache_misses_->value());
+  const std::size_t probes = s.cache_hits + s.cache_misses;
+  if (probes > 0) s.cache_hit_rate = static_cast<double>(s.cache_hits) / probes;
+  if (s.batches > 0) s.avg_batch_size = batched_requests_->value() / static_cast<double>(s.batches);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_ && s.requests > 0) {
+      const Clock::time_point end = stopped_ ? stop_ : Clock::now();
+      const double secs = std::chrono::duration<double>(end - start_).count();
+      if (secs > 0.0) s.throughput_rps = static_cast<double>(s.requests) / secs;
+    }
+    s.shard_retrieve_ms.resize(shard_ms_.size(), 0.0);
+    for (std::size_t i = 0; i < shard_ms_.size(); ++i)
+      if (shard_ms_[i] != nullptr) s.shard_retrieve_ms[i] = shard_ms_[i]->value();
+  }
+  if (s.requests > 0) {
+    s.p50_latency_ms = latency_->value_at_quantile(0.50);
+    s.p95_latency_ms = latency_->value_at_quantile(0.95);
+    s.p99_latency_ms = latency_->value_at_quantile(0.99);
+    s.queue_wait_p50_ms = queue_wait_->value_at_quantile(0.50);
+    s.queue_wait_p95_ms = queue_wait_->value_at_quantile(0.95);
+  }
+  s.queue_depth_hwm = static_cast<std::size_t>(queue_depth_hwm_->value());
+  s.encode_ms = encode_ms_->value();
+  s.retrieve_ms = retrieve_ms_->value();
+  s.decode_ms = decode_ms_->value();
+  s.classify_ms = classify_ms_->value();
+  s.parallel_retrieve_fanouts = static_cast<std::size_t>(parallel_fanouts_->value());
+  s.candidates_examined = static_cast<std::size_t>(candidates_examined_->value());
+  s.candidates_possible = static_cast<std::size_t>(candidates_possible_->value());
+  if (s.candidates_possible > 0)
+    s.pruned_fraction = 1.0 - static_cast<double>(s.candidates_examined) /
+                                  static_cast<double>(s.candidates_possible);
+  s.recall_samples = static_cast<std::size_t>(recall_samples_->value());
+  s.recall_matches = static_cast<std::size_t>(recall_matches_->value());
+  if (s.recall_samples > 0)
+    s.sampled_recall_at1 =
+        static_cast<double>(s.recall_matches) / static_cast<double>(s.recall_samples);
+  s.batched_decode_gemms = static_cast<std::size_t>(batched_decodes_->value());
+  s.users_admitted = static_cast<std::size_t>(admitted_->value());
+  s.users_evicted = static_cast<std::size_t>(evicted_->value());
+  s.migrations = static_cast<std::size_t>(migrations_->value());
+  s.router_refreshes = static_cast<std::size_t>(router_refreshes_->value());
+  s.rebalance_ms = rebalance_ms_->value();
+  s.rejected_requests = static_cast<std::size_t>(rejected_->value());
+  return s;
+}
+
+}  // namespace nvcim::serve

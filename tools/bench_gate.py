@@ -26,6 +26,15 @@ Policy (chosen so the gate is meaningful across runner generations):
     from the same run): the fresh value must not grow above
     ``committed * (1 + tolerance)`` — a >25% growth means live
     migration/router refresh started hurting tail latency.
+  * Tail-latency leaves (keys ending in ``p99_latency_ms``) are
+    LOWER-is-better absolute milliseconds: gated like ``_rps`` but against
+    a ``committed * (1 + tolerance)`` ceiling, and skipped under
+    ``--ratios-only`` for the same reason (absolute time tracks raw
+    machine speed).
+  * ``obs_overhead_frac`` (the observability scenario's tracing-on vs
+    tracing-off throughput loss) is gated against an absolute ceiling
+    (``--obs-overhead-ceiling``). It is a same-run ratio, so it stays
+    active under ``--ratios-only`` — tracing must stay near-free.
   * All other leaves (absolute microbench ms, request counts, sweep-point
     recalls, ...) are informational only.
 
@@ -96,6 +105,11 @@ def main():
                          "the default point sits near 0.95 and floats run to run, "
                          "but a catastrophic routing regression (e.g. 0.5) must "
                          "fail (default 0.90)")
+    ap.add_argument("--obs-overhead-ceiling", type=float, default=0.03,
+                    help="absolute ceiling for obs_overhead_frac — the fraction "
+                         "of throughput tracing may cost (default 0.03; the "
+                         "tracer's design target is ~2%%, the ceiling leaves "
+                         "one point of measurement noise)")
     ap.add_argument("--ratios-only", action="store_true",
                     help="gate only hardware-portable metrics (speedup ratios and "
                          "stage shares), skipping absolute *_rps leaves — use when "
@@ -144,6 +158,30 @@ def main():
             if value > ceiling:
                 failures.append(f"REGRESSED  {dotted}: impact ratio {base:.3f} -> "
                                 f"{value:.3f} (allowed ceiling {ceiling:.3f})")
+        elif key == "obs_overhead_frac":
+            # Absolute ceiling on a same-run ratio: hardware-portable, so it
+            # stays active under --ratios-only.
+            checked += 1
+            ceiling = args.obs_overhead_ceiling
+            status = "ok" if value <= ceiling else "REGRESSED"
+            print(f"{status:>9}  {dotted}: {base:.4f} -> {value:.4f} "
+                  f"(ceiling {ceiling:.2f})")
+            if value > ceiling:
+                failures.append(f"REGRESSED  {dotted}: tracing overhead "
+                                f"{value:.1%} above ceiling {ceiling:.1%}")
+        elif key.endswith("p99_latency_ms"):
+            # Lower-is-better absolute tail latency; machine-speed-bound, so
+            # skipped when the baseline came from different hardware.
+            if args.ratios_only:
+                continue
+            checked += 1
+            ceiling = base * (1.0 + args.tolerance)
+            status = "ok" if value <= ceiling else "REGRESSED"
+            print(f"{status:>9}  {dotted}: {base:.3f} -> {value:.3f} "
+                  f"(ceiling {ceiling:.3f})")
+            if value > ceiling:
+                failures.append(f"REGRESSED  {dotted}: p99 {base:.3f} -> "
+                                f"{value:.3f} ms (allowed ceiling {ceiling:.3f})")
         elif key.endswith("_rps") or "speedup" in key:
             if args.ratios_only and key.endswith("_rps"):
                 continue

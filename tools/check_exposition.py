@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Sanity-check the observability artifacts bench_serve exports:
+
+  * ``metrics_serve.prom`` — Prometheus text format. Every sample line must
+    parse, every series must belong to a ``# TYPE``-declared family, and
+    histogram families must be internally consistent: cumulative ``_bucket``
+    counts monotone in ``le``, the ``le="+Inf"`` bucket equal to ``_count``,
+    and ``_sum``/``_count`` present per series.
+  * ``trace_serve.json`` — Chrome trace_event JSON. Must be valid JSON with
+    a ``traceEvents`` array whose duration events carry name/cat/ts/dur,
+    and must contain the span categories the engine promises (request,
+    batch, stage, shard).
+
+Exit status: 0 = both artifacts well-formed, 1 = malformed, 2 = usage error.
+"""
+
+import json
+import re
+import sys
+from collections import defaultdict
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r'\s+(?P<value>[^ ]+)$')
+LABEL_RE = re.compile(r'^(?P<k>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<v>(?:[^"\\]|\\.)*)"$')
+
+
+def parse_labels(text):
+    if not text:
+        return {}
+    labels = {}
+    for part in text.split(","):
+        m = LABEL_RE.match(part.strip())
+        if m is None:
+            raise ValueError(f"bad label pair: {part!r}")
+        labels[m.group("k")] = m.group("v")
+    return labels
+
+
+def check_prometheus(path):
+    errors = []
+    types = {}
+    # (family, frozen non-le labels) -> list of (le, cumulative count)
+    buckets = defaultdict(list)
+    sums = set()
+    counts = {}
+    n_samples = 0
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                    errors.append(f"line {lineno}: malformed TYPE: {line!r}")
+                else:
+                    types[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue
+            m = SAMPLE_RE.match(line)
+            if m is None:
+                errors.append(f"line {lineno}: unparseable sample: {line!r}")
+                continue
+            name = m.group("name")
+            try:
+                value = float(m.group("value").replace("+Inf", "inf"))
+            except ValueError:
+                errors.append(f"line {lineno}: bad value in: {line!r}")
+                continue
+            try:
+                labels = parse_labels(m.group("labels"))
+            except ValueError as e:
+                errors.append(f"line {lineno}: {e}")
+                continue
+            n_samples += 1
+            family = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[: -len(suffix)] in types:
+                    family = name[: -len(suffix)]
+                    break
+            if family not in types:
+                errors.append(f"line {lineno}: series {name} has no # TYPE declaration")
+                continue
+            if types[family] == "histogram":
+                key = (family, tuple(sorted((k, v) for k, v in labels.items()
+                                            if k != "le")))
+                if name.endswith("_bucket"):
+                    if "le" not in labels:
+                        errors.append(f"line {lineno}: _bucket without le label")
+                        continue
+                    le = float("inf") if labels["le"] == "+Inf" else float(labels["le"])
+                    buckets[key].append((le, value, lineno))
+                elif name.endswith("_sum"):
+                    sums.add(key)
+                elif name.endswith("_count"):
+                    counts[key] = value
+
+    for key, series in buckets.items():
+        family = key[0]
+        les = [le for le, _, _ in series]
+        if les != sorted(les):
+            errors.append(f"{family}: bucket le values not sorted")
+        cum = [c for _, c, _ in series]
+        if cum != sorted(cum):
+            errors.append(f"{family}{dict(key[1])}: cumulative bucket counts not monotone")
+        if not series or series[-1][0] != float("inf"):
+            errors.append(f"{family}{dict(key[1])}: missing le=\"+Inf\" bucket")
+        elif key not in counts:
+            errors.append(f"{family}{dict(key[1])}: missing _count series")
+        elif series[-1][1] != counts[key]:
+            errors.append(f"{family}{dict(key[1])}: le=\"+Inf\" bucket "
+                          f"{series[-1][1]} != _count {counts[key]}")
+        if key not in sums:
+            errors.append(f"{family}{dict(key[1])}: missing _sum series")
+
+    if n_samples == 0:
+        errors.append("no samples found — empty exposition?")
+    if not buckets:
+        errors.append("no histogram series found — EngineStats not exporting?")
+    return errors, n_samples
+
+
+def check_trace(path):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        return [f"invalid JSON: {e}"], 0
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"], 0
+    cats = set()
+    n_spans = 0
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph == "M":
+            continue  # metadata (thread names)
+        if ph != "X":
+            errors.append(f"event {i}: unexpected ph {ph!r}")
+            continue
+        n_spans += 1
+        for field in ("name", "cat", "ts", "dur", "pid", "tid"):
+            if field not in e:
+                errors.append(f"event {i}: missing {field}")
+        if isinstance(e.get("dur"), (int, float)) and e["dur"] < 0:
+            errors.append(f"event {i}: negative duration {e['dur']}")
+        cats.add(e.get("cat"))
+    for want in ("request", "batch", "stage", "shard"):
+        if want not in cats:
+            errors.append(f"no spans with cat {want!r} — engine span tree incomplete")
+    if n_spans == 0:
+        errors.append("no duration events in trace")
+    return errors, n_spans
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} metrics_serve.prom trace_serve.json",
+              file=sys.stderr)
+        return 2
+    prom_path, trace_path = sys.argv[1], sys.argv[2]
+    failed = False
+    try:
+        errors, n = check_prometheus(prom_path)
+    except OSError as e:
+        print(f"check_exposition: cannot read {prom_path}: {e}", file=sys.stderr)
+        return 2
+    if errors:
+        failed = True
+        print(f"{prom_path}: {len(errors)} problem(s):")
+        for err in errors:
+            print(f"  {err}")
+    else:
+        print(f"{prom_path}: OK ({n} samples)")
+    try:
+        errors, n = check_trace(trace_path)
+    except OSError as e:
+        print(f"check_exposition: cannot read {trace_path}: {e}", file=sys.stderr)
+        return 2
+    if errors:
+        failed = True
+        print(f"{trace_path}: {len(errors)} problem(s):")
+        for err in errors:
+            print(f"  {err}")
+    else:
+        print(f"{trace_path}: OK ({n} spans)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
