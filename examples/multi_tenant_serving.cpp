@@ -58,7 +58,11 @@ int main() {
   scfg.two_phase.enabled = true;
   scfg.two_phase.nprobe = 0;
   // Online tenant lifecycle: live admission/eviction + shard rebalancing.
+  // Write-behind admission: admit_user returns once the slot is staged and
+  // the key columns program as worker aux tasks, overlapped with serving;
+  // wait_admitted() joins before the tenant takes traffic.
   scfg.lifecycle.enabled = true;
+  scfg.lifecycle.write_behind = true;
   // Per-request span tracing + slow-request exemplars (threshold in ms).
   scfg.tracing.enabled = true;
   scfg.slow_request_ms = 25.0;
@@ -101,10 +105,13 @@ int main() {
     core::NvcimPtFramework fw(model, task, cfg_u);
     fw.initialize_autoencoder(24);
     fw.train_from_buffer(users[n_users].train);
-    engine.admit_user(n_users, fw.export_deployment());
+    engine.admit_user(n_users, fw.export_deployment());  // returns staged
     std::printf("admitted user %zu mid-serve (%zu keys, router refreshed)\n", n_users,
                 engine.deployment(n_users).n_ovts());
   }
+  // Join the write-behind programming before routing traffic at the tenant
+  // (Pending → Live; usually settled already by the in-flight waves).
+  engine.wait_admitted(n_users);
   for (const data::Sample& q : users[n_users].test) {
     futures.push_back(engine.submit(n_users, q));
     sent.emplace_back(n_users, &q);

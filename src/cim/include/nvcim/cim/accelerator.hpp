@@ -39,6 +39,16 @@ class Accelerator {
   /// occupied column overwrites it.
   void program_keys(const Matrix& keys, std::size_t col_begin);
 
+  /// program_keys() restructured tile-major: all keys are quantized once,
+  /// then every touched (subarray, tile) is visited exactly once and its
+  /// whole column span programmed in one Crossbar::program_columns call —
+  /// hoisting the per-key segment rebuild, the per-(key, subarray) stream
+  /// construction and the per-call validation out of the inner loop. Each
+  /// column still draws from the same (subarray, column)-derived stream, so
+  /// the programmed cells are bit-identical to program_keys()
+  /// (property-tested); this is the admission/build fast path.
+  void program_keys_batched(const Matrix& keys, std::size_t col_begin);
+
   /// Grow capacity to at least `n_cols` key columns by appending blank
   /// column subarrays. Existing columns (cells, scales) are untouched.
   void ensure_capacity(std::size_t n_cols);

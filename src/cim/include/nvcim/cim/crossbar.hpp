@@ -114,6 +114,19 @@ class Crossbar {
                       const nvm::VariationModel& var, Rng& rng,
                       const ProgramOptions& opts = {});
 
+  /// Program a span of columns [col_begin, col_begin + n) in one visit.
+  /// `int_values` is n×active_rows (row j holds column col_begin + j's
+  /// integer values) and `rngs` points at n per-column noise streams, one
+  /// per column in span order. Bit-identical to n program_column() calls
+  /// with the same streams — each column's cells draw from its own stream
+  /// in the same row-ascending order — but the geometry checks, value-range
+  /// validation and per-call overhead are paid once per span instead of
+  /// once per column. The write-behind admission path programs whole
+  /// per-subarray batches through this.
+  void program_columns(const Matrix& int_values, std::size_t col_begin,
+                       const nvm::VariationModel& var, Rng* rngs,
+                       const ProgramOptions& opts = {});
+
   /// y = x · W for x of shape m×r (r = programmed rows). Returns m×c in the
   /// stored-integer scale. Non-const: accumulates op counters.
   Matrix matvec(const Matrix& x);

@@ -117,6 +117,53 @@ void Accelerator::program_keys(const Matrix& keys, std::size_t col_begin) {
   }
 }
 
+void Accelerator::program_keys_batched(const Matrix& keys, std::size_t col_begin) {
+  NVCIM_CHECK_MSG(mutable_mode_, "program_keys_batched requires init_mutable");
+  NVCIM_CHECK_MSG(keys.rows() > 0 && keys.cols() == key_len_,
+                  "keys must be Nx" << key_len_);
+  const std::size_t n = keys.rows();
+  NVCIM_CHECK_MSG(col_begin + n <= n_keys_,
+                  "columns [" << col_begin << ", " << col_begin + n
+                              << ") exceed capacity " << n_keys_);
+  // Quantize every key once (the per-KEY scale is the bit-identity anchor:
+  // it must not depend on which keys share the batch).
+  Matrix qall(n, key_len_);
+  for (std::size_t j = 0; j < n; ++j) {
+    const QuantizedMatrix q =
+        quantize_symmetric(keys.row(j), static_cast<int>(cfg_.value_bits));
+    col_scale_[col_begin + j] = q.scale;
+    for (std::size_t i = 0; i < key_len_; ++i) {
+      qall(j, i) = q.q(0, i);
+      keys_ref_(col_begin + j, i) = q.q(0, i) * q.scale;
+    }
+  }
+  // Tile-major: one program_columns call per touched (row band, column
+  // tile), with the span's segment matrix and per-column streams built once.
+  Matrix seg;
+  std::vector<Rng> rngs;
+  for (std::size_t rt = 0; rt < row_tiles_; ++rt) {
+    const std::size_t r0 = rt * cfg_.rows;
+    const std::size_t r1 = std::min(r0 + cfg_.rows, key_len_);
+    for (std::size_t ct = col_begin / cfg_.cols; ct * cfg_.cols < col_begin + n; ++ct) {
+      const std::size_t c0 = std::max(col_begin, ct * cfg_.cols);
+      const std::size_t c1 = std::min(col_begin + n, (ct + 1) * cfg_.cols);
+      const std::size_t span = c1 - c0;
+      seg.resize(span, r1 - r0);
+      rngs.clear();
+      rngs.reserve(span);
+      for (std::size_t c = c0; c < c1; ++c) {
+        const std::size_t j = c - col_begin;
+        for (std::size_t i = r0; i < r1; ++i) seg(c - c0, i - r0) = qall(j, i);
+        // Same (row band, global column) stream derivation as program_keys:
+        // a column's draws never depend on batch composition or order.
+        rngs.push_back(base_rng_.split(rt * 0x100000001B3ull + c));
+      }
+      tiles_[rt * col_tiles_ + ct].program_columns(seg, c0 % cfg_.cols, var_, rngs.data(),
+                                                   opts_);
+    }
+  }
+}
+
 void Accelerator::apply_scales(Matrix& y) const {
   if (!mutable_mode_) {
     y *= scale_;

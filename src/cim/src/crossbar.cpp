@@ -121,6 +121,45 @@ void Crossbar::program_column(const Matrix& int_values, std::size_t col,
   }
 }
 
+void Crossbar::program_columns(const Matrix& int_values, std::size_t col_begin,
+                               const nvm::VariationModel& var, Rng* rngs,
+                               const ProgramOptions& opts) {
+  NVCIM_CHECK_MSG(active_rows_ > 0, "crossbar region not initialized");
+  const std::size_t n = int_values.rows();
+  NVCIM_CHECK_MSG(n > 0 && col_begin + n <= active_cols_,
+                  "columns [" << col_begin << ", " << col_begin + n << ") out of range");
+  NVCIM_CHECK_MSG(int_values.cols() == active_rows_,
+                  "column values must be Nx" << active_rows_);
+  NVCIM_CHECK_MSG(var.device.n_levels == cfg_.levels(),
+                  "device level count must match bits_per_cell");
+  NVCIM_CHECK_MSG(opts.verify_mask == nullptr,
+                  "verify_mask is not supported on the per-column path");
+  const long vmax = qmax_for_bits(static_cast<int>(cfg_.value_bits));
+  const bool verify = opts.verify_tolerance > 0.0;
+  // Validate the whole span up front, so a bad value can never leave the
+  // span half-programmed.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t r = 0; r < active_rows_; ++r) {
+      const double vf = int_values(j, r);
+      NVCIM_CHECK_MSG(std::fabs(vf - std::round(vf)) < 1e-3,
+                      "crossbar expects integer-valued entries");
+      const long v = static_cast<long>(std::llround(vf));
+      NVCIM_CHECK_MSG(std::labs(v) <= vmax, "value " << v << " exceeds int" << cfg_.value_bits);
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t col = col_begin + j;
+    Rng& rng = rngs[j];
+    // Rows ascending per column, exactly like program_column: a column's
+    // cells are a pure function of (values, position, its own stream).
+    for (std::size_t r = 0; r < active_rows_; ++r) {
+      const long v = static_cast<long>(std::llround(int_values(j, r)));
+      reference_(r, col) = static_cast<float>(v);
+      program_cell_slices(r, col, v, var, rng, opts, verify);
+    }
+  }
+}
+
 Matrix Crossbar::read_values() const {
   NVCIM_CHECK_MSG(active_rows_ > 0, "crossbar not programmed");
   const std::size_t S = cfg_.n_slices();

@@ -10,9 +10,9 @@ namespace nvcim::obs {
 /// `min_value`, each split into `sub_buckets` linear buckets, plus one
 /// underflow bucket for values <= min_value. Values beyond the last octave
 /// clamp into the final bucket. With 32 sub-buckets the relative width of
-/// any bucket is <= 1/32 ≈ 3.1%, so a midpoint estimate is within ~1.6% of
-/// any value in the bucket — comfortably inside the 5% percentile error
-/// bound the serving stats promise.
+/// any bucket is <= 1/32 ≈ 3.1%, so a rank-interpolated estimate is within
+/// ~3.1% of any value in the bucket — comfortably inside the 5% percentile
+/// error bound the serving stats promise.
 struct HistogramConfig {
   double min_value = 1e-3;       ///< smallest resolvable value (1 µs in ms units)
   std::size_t sub_buckets = 32;  ///< linear buckets per octave
@@ -47,8 +47,10 @@ class Histogram {
   double max() const;
   double mean() const;
 
-  /// Value at quantile q in [0, 1]: midpoint of the bucket holding the
-  /// q-th record, clamped to the exact [min, max] seen. 0 when empty.
+  /// Value at quantile q in [0, 1]: rank-interpolated within the bucket
+  /// holding the q-th record, clamped to the exact [min, max] seen — so
+  /// distinct quantiles sharing one bucket stay distinct (monotone in q).
+  /// 0 when empty.
   double value_at_quantile(double q) const;
 
   std::size_t n_buckets() const { return buckets_.size(); }

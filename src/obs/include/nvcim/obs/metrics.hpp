@@ -36,10 +36,12 @@ class Counter {
   std::atomic<double> v_{0.0};
 };
 
-/// Last-value (set) or high-water (update_max) metric. Lock-free.
+/// Last-value (set), high-water (update_max) or up-down (add) metric.
+/// Lock-free.
 class Gauge {
  public:
   void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) { detail::atomic_add(v_, d); }
   void update_max(double v) { detail::atomic_max(v_, v); }
   double value() const { return v_.load(std::memory_order_relaxed); }
 

@@ -127,10 +127,19 @@ double Histogram::value_at_quantile(double q) const {
   for (std::size_t i = 0; i < counts.size(); ++i) {
     seen += counts[i];
     if (seen >= target) {
-      const double mid = 0.5 * (bucket_lower(i) + bucket_upper(i));
-      // Clamp to the exact range seen: single-bucket distributions come back
-      // exact, and the estimate can never leave the recorded support.
-      return std::min(std::max(mid, lo), hi);
+      // Rank-interpolate within the bucket rather than returning its
+      // midpoint: when a tail's samples all land in one bucket, a midpoint
+      // (clamped to [lo, hi]) collapses every tail quantile to the same
+      // value — p95 == p99 even though the ranks differ. Interpolating by
+      // rank keeps distinct quantiles distinct (monotone in q) while
+      // staying inside both the bucket and the recorded [lo, hi] support,
+      // so single-value distributions still come back exact.
+      const std::uint64_t before = seen - counts[i];
+      const double frac = static_cast<double>(target - before) /
+                          static_cast<double>(counts[i]);
+      const double blo = std::max(bucket_lower(i), lo);
+      const double bhi = std::min(bucket_upper(i), hi);
+      return blo + frac * std::max(0.0, bhi - blo);
     }
   }
   return hi;  // unreachable (target <= total)

@@ -141,7 +141,28 @@ class ServingEngine {
   /// Admit a user while serving: program its keys into the live store (new
   /// epoch; in-flight batches are untouched) and take ownership of the
   /// deployment. Before start() this is equivalent to add_deployment().
+  ///
+  /// With LifecycleConfig::write_behind (and a running pool), the call
+  /// stages the admission and returns immediately (tenant Pending): column
+  /// programming runs as per-subarray aux tasks on the worker pool,
+  /// interleaved with serving batches, and the tenant flips live when the
+  /// last span lands — bit-identical to the synchronous path (same staged
+  /// protocol, same per-column noise streams). Join with wait_admitted().
+  /// At LifecycleConfig::max_pending_admissions staged admissions the call
+  /// blocks (backpressure); try_admit_user() rejects instead.
   void admit_user(std::size_t user_id, core::TrainedDeployment deployment);
+
+  /// Non-blocking admission control for admit_user(): when the write-behind
+  /// pending bound is hit the admission is REJECTED — returns false (the
+  /// engine is Overloaded, EngineStats::rejected_admissions bumps) instead
+  /// of blocking. Synchronous-path admissions always proceed (return true).
+  bool try_admit_user(std::size_t user_id, core::TrainedDeployment deployment);
+
+  /// Join one write-behind admission: block until the user's staged columns
+  /// are fully programmed and the tenant is live. Rethrows the admission's
+  /// error if programming failed (the admission was rolled back). Returns
+  /// immediately for already-live users; throws for unknown ones.
+  void wait_admitted(std::size_t user_id);
 
   /// Evict a user while serving: unpublish its slot (freed columns are
   /// reused only after in-flight readers drain), drop the deployment and
@@ -242,8 +263,27 @@ class ServingEngine {
     std::exception_ptr error;
   };
 
+  /// Join state of one in-flight write-behind admission: spans still to
+  /// program, the first programming error seen (if any) and the settled
+  /// flag wait_admitted() blocks on.
+  struct AdmissionJoin {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+    bool settled = false;
+    std::exception_ptr error;
+  };
+
   void worker_loop();
   void process_batch(std::vector<Pending>&& batch, WorkerState& ws);
+  /// Shared body of admit_user()/try_admit_user(). Returns false only when
+  /// `may_block` is false and the pending-admission bound rejects the call.
+  bool admit_user_impl(std::size_t user_id, core::TrainedDeployment deployment, bool may_block);
+  /// Program one staged span; the last span to finish settles the admission
+  /// (commit on success, full rollback on error) and wakes the joiners.
+  void run_admission_span(const std::shared_ptr<const ShardedOvtStore::StagedAdmission>& staged,
+                          const std::shared_ptr<AdmissionJoin>& join, std::size_t idx,
+                          std::uint64_t generation, std::chrono::steady_clock::time_point t0);
   /// Pinned deployment ref for `user_id`, or an empty DepRef when the user
   /// is gone (evicted between submit and batch assembly).
   DepRef find_deployment(std::size_t user_id) const;
@@ -295,6 +335,13 @@ class ServingEngine {
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
   bool stopping_ = false;  ///< guarded by queue_mu_
+
+  mutable std::mutex admissions_mu_;       ///< guards admissions_
+  std::condition_variable admissions_cv_;  ///< admit_user() backpressure waiters
+  /// In-flight write-behind admissions by user id. An entry exists from the
+  /// moment the pending slot is reserved until the admission settles — its
+  /// size IS the backpressure bound's measure.
+  std::unordered_map<std::size_t, std::shared_ptr<AdmissionJoin>> admissions_;
 
   EngineStats stats_;
   obs::Tracer tracer_;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "nvcim/common/check.hpp"
@@ -38,6 +39,29 @@ struct LifecycleConfig {
   /// pruning blocks with as few other tenants as possible. Only applied
   /// when two-phase routing is enabled (block pruning is what benefits).
   bool align_slots_to_blocks = true;
+  /// Program key columns through the tile-major batched primitive
+  /// (Accelerator::program_keys_batched) instead of one column at a time.
+  /// Bit-identical either way — the toggle exists for A/B benches and the
+  /// property tests.
+  bool batched_programming = true;
+  /// Write-behind admission: admit_user() publishes the tenant's slot as
+  /// PENDING and returns immediately; column programming runs as worker-pool
+  /// aux tasks in per-subarray batches, and the tenant flips to live
+  /// (queryable) only once every span is programmed. Deferred admission is
+  /// bit-identical to synchronous admission (same per-column streams). Off =
+  /// the synchronous caller-thread path.
+  bool write_behind = false;
+  /// Backpressure bound on the write-behind path: at most this many
+  /// admissions may be in flight (staged, not yet live) at once.
+  /// try_admit_user() returns Overloaded beyond it; admit_user() blocks.
+  std::size_t max_pending_admissions = 8;
+  /// Maximum key columns per programming span. Spans never cross subarray
+  /// boundaries; this additionally splits a wide slot inside one subarray so
+  /// a single admission fans out across several workers instead of
+  /// serializing on one. Per-column noise streams are position-derived, so
+  /// any split (and any execution order) programs bit-identical cells.
+  /// 0 = one span per subarray.
+  std::size_t program_span_cols = 32;
 };
 
 /// A user's placement: shard index plus its key-column range within the
@@ -73,8 +97,17 @@ struct TenantSnapshot {
   /// columns). Candidate bitmaps are sized against this, never against the
   /// live width, which may have grown since.
   std::vector<std::size_t> shard_capacity;
+  /// Users staged by a write-behind admission whose columns are still being
+  /// programmed: the slot is allocated and published (so placement and
+  /// reclamation see it), but the tenant is not yet queryable and the
+  /// rebalancer must not migrate it.
+  std::unordered_set<std::size_t> pending;
 
   bool has_user(std::size_t user_id) const { return slots.count(user_id) > 0; }
+  /// Queryable: the slot exists AND its columns are fully programmed.
+  bool is_live(std::size_t user_id) const {
+    return has_user(user_id) && pending.count(user_id) == 0;
+  }
   const UserSlot& slot(std::size_t user_id) const {
     auto it = slots.find(user_id);
     NVCIM_CHECK_MSG(it != slots.end(), "unknown user " << user_id);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "nvcim/cluster/kmeans.hpp"
@@ -125,8 +126,56 @@ class ShardedOvtStore {
   /// target shard's crossbars, build the candidate router (two-phase), and
   /// publish a new directory epoch. The user's retrieval results are
   /// bit-identical to a from-scratch build that placed it in the same slot,
-  /// and no other user's scores change.
+  /// and no other user's scores change. Implemented as
+  /// stage_admit() → program_span()× → commit_admit() on the caller thread,
+  /// so the synchronous and write-behind paths are the same code.
   void admit_user(std::size_t user_id, const std::vector<Matrix>& keys);
+
+  // ---- Staged (write-behind) admission ----
+  //
+  // The three-step protocol behind asynchronous admission: stage_admit()
+  // does every placement decision (shard choice, slot allocation, capacity
+  // provisioning, router build) under the lifecycle lock and publishes the
+  // slot as PENDING; program_span() programs one per-subarray column batch
+  // under that shard's lock only (callable from any worker, in any order —
+  // each column draws from its own position-derived stream); commit_admit()
+  // flips the tenant live once every span is programmed. The programmed
+  // cells are bit-identical to a synchronous admit_user() and to a
+  // from-scratch build with the same placement.
+
+  /// One staged admission: the placement plus the per-subarray programming
+  /// batches still to run. `keys` is a stable copy shared with the
+  /// programming tasks; `spans` are [first, last) shard-column ranges, one
+  /// per touched subarray.
+  struct StagedAdmission {
+    std::size_t user_id = 0;
+    std::size_t shard = 0;
+    std::size_t begin = 0;
+    std::shared_ptr<const std::vector<Matrix>> keys;
+    std::vector<std::pair<std::size_t, std::size_t>> spans;
+  };
+
+  /// Stage an admission: place, allocate, provision crossbar capacity,
+  /// build the router and publish the slot as pending. The tenant is not
+  /// queryable until commit_admit().
+  StagedAdmission stage_admit(std::size_t user_id, const std::vector<Matrix>& keys);
+
+  /// Program one staged span (spans[idx]) into the target shard. Takes only
+  /// that shard's lock — serving on other shards is untouched, and this
+  /// shard is blocked for one subarray batch, not the whole slot.
+  void program_span(const StagedAdmission& staged, std::size_t idx);
+
+  /// Flip a staged tenant live (all spans programmed). Publishes the epoch
+  /// that makes the user queryable.
+  void commit_admit(std::size_t user_id);
+
+  /// Roll a staged admission back (programming failed): unpublish the slot
+  /// and return its columns to the allocator. No-op if already settled.
+  void abort_admit(std::size_t user_id);
+
+  /// True when the user's slot exists AND its columns are fully programmed
+  /// (i.e. not mid-write-behind). The submit-gate for async admission.
+  bool user_live(std::size_t user_id) const;
 
   /// Evict a user: unpublish its slot and router. The key columns are left
   /// in place (in-flight batches pinned to older epochs may still read
@@ -254,6 +303,10 @@ class ShardedOvtStore {
   /// the shard's retriever capacity if needed. Caller holds lifecycle_mu_.
   void program_slot_locked(std::size_t shard, std::size_t begin,
                            const std::vector<Matrix>& keys);
+  /// Create or grow the shard's retriever to at least `need` key columns
+  /// (takes the shard lock). Caller holds lifecycle_mu_ — staged spans can
+  /// then program under the shard lock alone, never racing a tile-grid grow.
+  void ensure_shard_capacity_locked(std::size_t shard, std::size_t need);
 
   OvtStoreConfig cfg_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -75,6 +75,17 @@ struct StatsSnapshot {
   /// try_submit() calls bounced with Overloaded because the queue was full
   /// (non-blocking admission control; submit() still blocks instead).
   std::size_t rejected_requests = 0;
+  // Write-behind admission accounting (zero on the synchronous path).
+  /// Programming spans staged but not yet executed (live queue depth).
+  std::size_t programming_queue_depth = 0;
+  /// Per-subarray programming batches executed by worker aux tasks.
+  std::size_t program_batches = 0;
+  // Admission latency (stage → live) percentiles from the histogram.
+  double admission_p50_ms = 0.0;
+  double admission_p95_ms = 0.0;
+  /// try_admit_user() calls bounced with Overloaded (pending-admission
+  /// backpressure bound hit).
+  std::size_t rejected_admissions = 0;
 };
 
 /// One slow-request exemplar: a request whose latency crossed the engine's
@@ -149,6 +160,16 @@ class EngineStats {
   void record_rebalance(double ms);
   void record_rejection();
 
+  // ---- Write-behind admission ----
+  /// `spans` programming batches were staged (queue depth rises by spans).
+  void record_programming_enqueued(std::size_t spans);
+  /// One staged batch of `columns` key columns was programmed (depth -1).
+  void record_program_batch(std::size_t columns);
+  /// One admission went stage → live in `ms` wall-clock.
+  void record_admission_latency(double ms);
+  /// One try_admit_user() bounced on the pending-admission bound.
+  void record_admission_rejection();
+
   /// Keep one slow-request exemplar (bounded: the most recent kMaxSlow).
   void record_slow_request(const SlowRequest& slow);
   std::vector<SlowRequest> slow_requests() const;
@@ -199,6 +220,10 @@ class EngineStats {
   obs::Counter* router_refreshes_;
   obs::Counter* rebalance_ms_;
   obs::Counter* rejected_;
+  obs::Gauge* programming_queue_depth_;
+  obs::Histogram* admission_latency_;
+  obs::Histogram* program_batch_columns_;
+  obs::Counter* rejected_admissions_;
 
   mutable std::mutex mu_;  ///< guards clock state, shard/tenant caches, slow_
   Clock::time_point start_{};

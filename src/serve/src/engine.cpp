@@ -59,9 +59,18 @@ void ServingEngine::add_deployment(std::size_t user_id, core::TrainedDeployment 
 }
 
 void ServingEngine::admit_user(std::size_t user_id, core::TrainedDeployment deployment) {
+  admit_user_impl(user_id, std::move(deployment), /*may_block=*/true);
+}
+
+bool ServingEngine::try_admit_user(std::size_t user_id, core::TrainedDeployment deployment) {
+  return admit_user_impl(user_id, std::move(deployment), /*may_block=*/false);
+}
+
+bool ServingEngine::admit_user_impl(std::size_t user_id, core::TrainedDeployment deployment,
+                                    bool may_block) {
   if (!store_.built()) {
     add_deployment(user_id, std::move(deployment));
-    return;
+    return true;
   }
   NVCIM_CHECK_MSG(cfg_.lifecycle.enabled, "tenant lifecycle disabled in this engine");
   NVCIM_CHECK_MSG(deployment.n_ovts() > 0, "deployment for user " << user_id << " is empty");
@@ -70,38 +79,225 @@ void ServingEngine::admit_user(std::size_t user_id, core::TrainedDeployment depl
   auto owned = std::make_shared<const core::TrainedDeployment>(std::move(deployment));
   obs::Span span(&tracer_, "admit_user", "lifecycle", "user",
                  static_cast<std::int64_t>(user_id));
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Write-behind only with a pool to write behind: before start() (or after
+  // stop()) the synchronous path keeps the call self-contained.
+  const bool deferred = cfg_.lifecycle.write_behind && running_;
+  std::shared_ptr<AdmissionJoin> join;
+  if (deferred) {
+    std::unique_lock<std::mutex> lock(admissions_mu_);
+    if (!may_block && admissions_.size() >= cfg_.lifecycle.max_pending_admissions) {
+      // Overloaded: the programming backlog is at its bound — reject and
+      // let the caller shed or retry. The counter is the observable signal.
+      stats_.record_admission_rejection();
+      return false;
+    }
+    admissions_cv_.wait(lock, [this] {
+      return admissions_.size() < cfg_.lifecycle.max_pending_admissions;
+    });
+    NVCIM_CHECK_MSG(admissions_.count(user_id) == 0,
+                    "user " << user_id << " admission already in flight");
+    join = std::make_shared<AdmissionJoin>();
+    admissions_.emplace(user_id, join);  // reserves one pending-admission slot
+  }
+
   // Deployment first, directory second: the moment a batch can see the
   // user's slot, its deployment must resolve.
   std::uint64_t generation = 0;
-  {
+  try {
     std::lock_guard<std::mutex> lock(deployments_mu_);
     NVCIM_CHECK_MSG(deployments_.count(user_id) == 0,
                     "user " << user_id << " already deployed");
     generation = next_generation_++;
     deployments_[user_id] = DepRef{owned, generation};
+  } catch (...) {
+    if (join != nullptr) {
+      {
+        std::lock_guard<std::mutex> lock(admissions_mu_);
+        admissions_.erase(user_id);
+      }
+      admissions_cv_.notify_all();
+    }
+    throw;
   }
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     live_generations_.insert(generation);
   }
+
+  if (!deferred) {
+    try {
+      store_.admit_user(user_id, owned->keys);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(deployments_mu_);
+        deployments_.erase(user_id);
+      }
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      live_generations_.erase(generation);
+      throw;
+    }
+    stats_.record_admission(/*router_refreshed=*/store_.routed());
+    stats_.record_admission_latency(ms_between(t0, std::chrono::steady_clock::now()));
+    return true;
+  }
+
+  // Write-behind: stage now (placement, allocation, router, Pending
+  // publish — the cheap part), program later. Each per-subarray span
+  // becomes one aux task; workers interleave them with serving batches,
+  // and the last span to land commits the tenant live.
+  std::shared_ptr<const ShardedOvtStore::StagedAdmission> staged;
   try {
-    store_.admit_user(user_id, owned->keys);
+    staged = std::make_shared<const ShardedOvtStore::StagedAdmission>(
+        store_.stage_admit(user_id, owned->keys));
   } catch (...) {
     {
       std::lock_guard<std::mutex> lock(deployments_mu_);
       deployments_.erase(user_id);
     }
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    live_generations_.erase(generation);
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      live_generations_.erase(generation);
+    }
+    {
+      std::lock_guard<std::mutex> lock(admissions_mu_);
+      admissions_.erase(user_id);
+    }
+    admissions_cv_.notify_all();
     throw;
   }
-  stats_.record_admission(/*router_refreshed=*/store_.routed());
+  join->remaining = staged->spans.size();
+  stats_.record_programming_enqueued(staged->spans.size());
+
+  // Same enqueue gate as rebalance(): tasks enqueued while running_ &&
+  // !stopping_ holds UNDER queue_mu_ are guaranteed a live worker to drain
+  // them (workers empty the aux queue before exiting); otherwise program
+  // inline — the admission still settles through run_admission_span.
+  bool enqueued = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (running_ && !stopping_) {
+      for (std::size_t i = 0; i < staged->spans.size(); ++i)
+        aux_queue_.emplace_back([this, staged, join, i, generation, t0](WorkerState&) {
+          run_admission_span(staged, join, i, generation, t0);
+        });
+      enqueued = true;
+    }
+  }
+  if (enqueued) {
+    queue_cv_.notify_all();
+  } else {
+    for (std::size_t i = 0; i < staged->spans.size(); ++i)
+      run_admission_span(staged, join, i, generation, t0);
+  }
+  return true;
+}
+
+void ServingEngine::run_admission_span(
+    const std::shared_ptr<const ShardedOvtStore::StagedAdmission>& staged,
+    const std::shared_ptr<AdmissionJoin>& join, std::size_t idx, std::uint64_t generation,
+    std::chrono::steady_clock::time_point t0) {
+  {
+    obs::Span span(&tracer_, "program_span", "lifecycle", "user",
+                   static_cast<std::int64_t>(staged->user_id), "span",
+                   static_cast<std::int64_t>(idx));
+    std::exception_ptr error;
+    try {
+      store_.program_span(*staged, idx);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    stats_.record_program_batch(staged->spans[idx].second - staged->spans[idx].first);
+    bool last = false;
+    {
+      std::lock_guard<std::mutex> lock(join->mu);
+      if (error != nullptr && join->error == nullptr) join->error = error;
+      last = --join->remaining == 0;
+    }
+    if (!last) return;
+  }
+
+  // Last span settles the admission: commit on success, full rollback
+  // (slot, deployment, generation) on any span's error.
+  std::exception_ptr final_error;
+  {
+    std::lock_guard<std::mutex> lock(join->mu);
+    final_error = join->error;
+  }
+  if (final_error == nullptr) {
+    try {
+      store_.commit_admit(staged->user_id);
+      stats_.record_admission(/*router_refreshed=*/store_.routed());
+      stats_.record_admission_latency(ms_between(t0, std::chrono::steady_clock::now()));
+    } catch (...) {
+      final_error = std::current_exception();
+    }
+  }
+  if (final_error != nullptr) {
+    store_.abort_admit(staged->user_id);
+    {
+      std::lock_guard<std::mutex> lock(deployments_mu_);
+      deployments_.erase(staged->user_id);
+    }
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    live_generations_.erase(generation);
+  }
+  // Settle order matters: the store is consistent (committed or rolled
+  // back) BEFORE the admissions_ entry disappears, so a wait_admitted()
+  // that misses the entry can trust user_live()/find_deployment().
+  {
+    std::lock_guard<std::mutex> lock(admissions_mu_);
+    admissions_.erase(staged->user_id);
+  }
+  admissions_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(join->mu);
+    join->error = final_error;
+    join->settled = true;
+  }
+  join->cv.notify_all();
+}
+
+void ServingEngine::wait_admitted(std::size_t user_id) {
+  std::shared_ptr<AdmissionJoin> join;
+  {
+    std::lock_guard<std::mutex> lock(admissions_mu_);
+    auto it = admissions_.find(user_id);
+    if (it != admissions_.end()) join = it->second;
+  }
+  if (join == nullptr) {
+    // No admission in flight: either it already settled (user is live) or
+    // the user was never admitted / its admission failed and rolled back.
+    NVCIM_CHECK_MSG(find_deployment(user_id).dep != nullptr && store_.user_live(user_id),
+                    "user " << user_id << " has no admission to wait for");
+    return;
+  }
+  std::unique_lock<std::mutex> lock(join->mu);
+  join->cv.wait(lock, [&join] { return join->settled; });
+  if (join->error != nullptr) std::rethrow_exception(join->error);
 }
 
 void ServingEngine::evict_user(std::size_t user_id) {
   NVCIM_CHECK_MSG(cfg_.lifecycle.enabled, "tenant lifecycle disabled in this engine");
   obs::Span span(&tracer_, "evict_user", "lifecycle", "user",
                  static_cast<std::int64_t>(user_id));
+  // A write-behind admission still in flight must settle first (the store
+  // refuses to evict pending slots). A failed admission rolls itself back,
+  // and the evict below then throws unknown-user — same as if the user had
+  // never been admitted.
+  {
+    std::shared_ptr<AdmissionJoin> join;
+    {
+      std::lock_guard<std::mutex> lock(admissions_mu_);
+      auto it = admissions_.find(user_id);
+      if (it != admissions_.end()) join = it->second;
+    }
+    if (join != nullptr) {
+      std::unique_lock<std::mutex> jlock(join->mu);
+      join->cv.wait(jlock, [&join] { return join->settled; });
+    }
+  }
   // Unpublish the slot first (new batches stop seeing the user), then drop
   // the deployment (in-flight batches hold their own shared_ptr), then
   // purge the user's decoded prompts. Cache keys carry the admission
@@ -241,10 +437,12 @@ void ServingEngine::stop() {
 std::future<Response> ServingEngine::submit(std::size_t user_id, data::Sample query) {
   NVCIM_CHECK_MSG(running_, "engine not started");
   // Both halves of an admission must be visible: the deployment AND the
-  // store slot (published last by admit_user). Checking only the former
+  // store slot — and the slot must be LIVE (fully programmed), not a
+  // write-behind Pending still being written. Checking only the deployment
   // would let a request race into a batch whose pinned epoch predates the
-  // slot and fail spuriously.
-  NVCIM_CHECK_MSG(find_deployment(user_id).dep != nullptr && store_.has_user(user_id),
+  // slot and fail spuriously; admitting a Pending one would score
+  // half-programmed columns.
+  NVCIM_CHECK_MSG(find_deployment(user_id).dep != nullptr && store_.user_live(user_id),
                   "unknown user " << user_id);
   Pending p;
   p.user_id = user_id;
@@ -265,7 +463,7 @@ std::future<Response> ServingEngine::submit(std::size_t user_id, data::Sample qu
 std::optional<std::future<Response>> ServingEngine::try_submit(std::size_t user_id,
                                                                data::Sample query) {
   NVCIM_CHECK_MSG(running_, "engine not started");
-  NVCIM_CHECK_MSG(find_deployment(user_id).dep != nullptr && store_.has_user(user_id),
+  NVCIM_CHECK_MSG(find_deployment(user_id).dep != nullptr && store_.user_live(user_id),
                   "unknown user " << user_id);
   Pending p;
   p.user_id = user_id;
@@ -390,8 +588,10 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
   std::vector<DepRef> deps(B);
   for (std::size_t i = 0; i < B; ++i) {
     deps[i] = find_deployment(batch[i].user_id);
-    if (deps[i].dep == nullptr || !pinned.has_user(batch[i].user_id)) {
-      // Evicted between submit and batch assembly — fail just this request.
+    if (deps[i].dep == nullptr || !pinned.snap->is_live(batch[i].user_id)) {
+      // Evicted between submit and batch assembly (or evicted and
+      // re-admitted as a still-Pending write-behind slot whose columns are
+      // mid-programming) — fail just this request.
       failed[i] = 1;
       batch[i].promise.set_exception(std::make_exception_ptr(
           Error("user " + std::to_string(batch[i].user_id) + " was evicted")));

@@ -16,6 +16,7 @@ retrieval::CimRetriever::Config retriever_config(const OvtStoreConfig& cfg) {
   rcfg.crossbar = cfg.crossbar;
   rcfg.variation = cfg.variation;
   rcfg.program = cfg.program;
+  rcfg.batched_programming = cfg.lifecycle.batched_programming;
   return rcfg;
 }
 
@@ -144,12 +145,8 @@ std::shared_ptr<const UserRouter> ShardedOvtStore::build_router(
   return router;
 }
 
-void ShardedOvtStore::program_slot_locked(std::size_t shard, std::size_t begin,
-                                          const std::vector<Matrix>& keys) {
+void ShardedOvtStore::ensure_shard_capacity_locked(std::size_t shard, std::size_t need) {
   Shard& s = *shards_[shard];
-  const std::size_t need = begin + keys.size();
-  // Programming (and capacity growth) excludes this shard's MVM passes for
-  // the duration of the column writes only — other shards keep serving.
   std::lock_guard<std::mutex> lock(s.mu);
   if (s.retriever == nullptr) {
     s.retriever = std::make_unique<retrieval::CimRetriever>(retriever_config(cfg_));
@@ -157,8 +154,17 @@ void ShardedOvtStore::program_slot_locked(std::size_t shard, std::size_t begin,
   } else if (s.retriever->n_keys() < need) {
     s.retriever->ensure_capacity(need);
   }
-  s.retriever->program_keys(begin, keys);
   s.capacity.store(s.retriever->n_keys(), std::memory_order_release);
+}
+
+void ShardedOvtStore::program_slot_locked(std::size_t shard, std::size_t begin,
+                                          const std::vector<Matrix>& keys) {
+  ensure_shard_capacity_locked(shard, begin + keys.size());
+  Shard& s = *shards_[shard];
+  // Programming excludes this shard's MVM passes for the duration of the
+  // column writes only — other shards keep serving.
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.retriever->program_keys(begin, keys);
 }
 
 void ShardedOvtStore::build(Rng& rng) {
@@ -235,8 +241,23 @@ void ShardedOvtStore::build(Rng& rng) {
 // ---------------------------------------------------------------------------
 
 void ShardedOvtStore::admit_user(std::size_t user_id, const std::vector<Matrix>& keys) {
+  // Synchronous admission rides the staged protocol end to end, so the
+  // write-behind path cannot drift from it: same placement, same spans,
+  // same per-column streams — the only difference is which thread programs.
+  const StagedAdmission staged = stage_admit(user_id, keys);
+  try {
+    for (std::size_t i = 0; i < staged.spans.size(); ++i) program_span(staged, i);
+  } catch (...) {
+    abort_admit(user_id);
+    throw;
+  }
+  commit_admit(user_id);
+}
+
+ShardedOvtStore::StagedAdmission ShardedOvtStore::stage_admit(std::size_t user_id,
+                                                              const std::vector<Matrix>& keys) {
   NVCIM_CHECK_MSG(cfg_.lifecycle.enabled, "tenant lifecycle disabled in this store");
-  NVCIM_CHECK_MSG(built_, "admit_user requires a built store (use add_user before build())");
+  NVCIM_CHECK_MSG(built_, "stage_admit requires a built store (use add_user before build())");
   NVCIM_CHECK_MSG(!keys.empty(), "user " << user_id << " has no keys");
   for (const Matrix& k : keys)
     NVCIM_CHECK_MSG(k.size() == key_size_, "keys must share a common size");
@@ -250,7 +271,10 @@ void ShardedOvtStore::admit_user(std::size_t user_id, const std::vector<Matrix>&
   // column mid-reprogram.
   const std::uint64_t safe = epochs_.min_active(directory_.epoch());
   const std::size_t begin = shards_[shard]->allocator.allocate(keys.size(), safe, slot_align());
-  program_slot_locked(shard, begin, keys);
+  // Provision crossbar capacity up front, under the staging lock: the span
+  // tasks then only ever write existing subarrays, so deferred programming
+  // can never race a tile-grid grow triggered by a later admission.
+  ensure_shard_capacity_locked(shard, begin + keys.size());
 
   std::shared_ptr<const UserRouter> router;
   if (routed_) {
@@ -262,7 +286,70 @@ void ShardedOvtStore::admit_user(std::size_t user_id, const std::vector<Matrix>&
     t.slots[user_id] = UserSlot{shard, begin, begin + keys.size()};
     if (router != nullptr) t.routers[user_id] = router;
     t.shard_capacity[shard] = shards_[shard]->capacity.load(std::memory_order_acquire);
+    // Published but pending: placement and reclamation see the slot, the
+    // query path does not (is_live() is false until commit_admit()).
+    t.pending.insert(user_id);
   });
+
+  StagedAdmission staged;
+  staged.user_id = user_id;
+  staged.shard = shard;
+  staged.begin = begin;
+  staged.keys = std::make_shared<const std::vector<Matrix>>(keys);
+  // Spans never cross a subarray boundary (each programming batch visits a
+  // single row-tile column range — what the batched primitive hoists
+  // per-visit work out of) and are further capped at program_span_cols so a
+  // wide slot fans out across several workers instead of serializing on one.
+  const std::size_t cap = cfg_.lifecycle.program_span_cols == 0
+                              ? cfg_.crossbar.cols
+                              : cfg_.lifecycle.program_span_cols;
+  const std::size_t end = begin + keys.size();
+  for (std::size_t c0 = begin; c0 < end;) {
+    const std::size_t c1 = std::min(
+        {end, (c0 / cfg_.crossbar.cols + 1) * cfg_.crossbar.cols, c0 + cap});
+    staged.spans.emplace_back(c0, c1);
+    c0 = c1;
+  }
+  return staged;
+}
+
+void ShardedOvtStore::program_span(const StagedAdmission& staged, std::size_t idx) {
+  NVCIM_CHECK_MSG(idx < staged.spans.size(), "span " << idx << " out of range");
+  const std::size_t c0 = staged.spans[idx].first;
+  const std::size_t c1 = staged.spans[idx].second;
+  // This span's slice of the staged keys; program_keys pools them per bank
+  // exactly as the full-slot call would.
+  const std::vector<Matrix> span_keys(staged.keys->begin() + (c0 - staged.begin),
+                                      staged.keys->begin() + (c1 - staged.begin));
+  Shard& s = *shards_[staged.shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  NVCIM_CHECK_MSG(s.retriever != nullptr, "shard " << staged.shard << " not provisioned");
+  s.retriever->program_keys(c0, span_keys);
+}
+
+void ShardedOvtStore::commit_admit(std::size_t user_id) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  NVCIM_CHECK_MSG(directory_.acquire()->pending.count(user_id) > 0,
+                  "user " << user_id << " has no staged admission");
+  directory_.update([&](TenantSnapshot& t) { t.pending.erase(user_id); });
+}
+
+void ShardedOvtStore::abort_admit(std::size_t user_id) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  const auto snap = directory_.acquire();
+  if (!snap->has_user(user_id) || snap->pending.count(user_id) == 0) return;
+  const UserSlot slot = snap->slot(user_id);
+  const std::uint64_t freed_epoch = directory_.update([&](TenantSnapshot& t) {
+    t.slots.erase(user_id);
+    t.routers.erase(user_id);
+    t.pending.erase(user_id);
+  });
+  shards_[slot.shard]->allocator.release(slot.begin, slot.end, freed_epoch);
+  user_keys_.erase(user_id);
+}
+
+bool ShardedOvtStore::user_live(std::size_t user_id) const {
+  return directory_.acquire()->is_live(user_id);
 }
 
 void ShardedOvtStore::evict_user(std::size_t user_id) {
@@ -271,6 +358,9 @@ void ShardedOvtStore::evict_user(std::size_t user_id) {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   const auto snap = directory_.acquire();
   const UserSlot slot = snap->slot(user_id);  // throws for unknown users
+  NVCIM_CHECK_MSG(snap->pending.count(user_id) == 0,
+                  "user " << user_id << " has a staged admission in flight — "
+                          << "join it (wait_admitted) before evicting");
   // Unpublish first, then free: the range's reuse is deferred past every
   // reader still pinned to an epoch that contains the slot.
   const std::uint64_t freed_epoch = directory_.update([&](TenantSnapshot& t) {
@@ -289,6 +379,8 @@ void ShardedOvtStore::migrate_user(std::size_t user_id, std::size_t to_shard) {
   const auto snap = directory_.acquire();
   const UserSlot from = snap->slot(user_id);
   NVCIM_CHECK_MSG(from.shard != to_shard, "user " << user_id << " already on shard " << to_shard);
+  NVCIM_CHECK_MSG(snap->pending.count(user_id) == 0,
+                  "user " << user_id << " has a staged admission in flight");
   const std::vector<Matrix>& keys = user_keys_.at(user_id);
 
   // Program-then-publish-then-free: the new columns are fully programmed
@@ -314,8 +406,15 @@ std::vector<Migration> ShardedOvtStore::plan_rebalance() const {
   std::vector<std::size_t> occupied;
   occupied.reserve(shards_.size());
   for (const auto& s : shards_) occupied.push_back(s->allocator.occupied());
-  return serve::plan_rebalance(occupied, directory_.acquire()->slots,
-                               cfg_.lifecycle.rebalance_tolerance,
+  const auto snap = directory_.acquire();
+  if (snap->pending.empty())
+    return serve::plan_rebalance(occupied, snap->slots, cfg_.lifecycle.rebalance_tolerance,
+                                 cfg_.lifecycle.max_migrations_per_cycle);
+  // A mid-programming tenant cannot migrate (its columns are still being
+  // written) — plan only over settled slots.
+  std::unordered_map<std::size_t, UserSlot> movable = snap->slots;
+  for (const std::size_t u : snap->pending) movable.erase(u);
+  return serve::plan_rebalance(occupied, movable, cfg_.lifecycle.rebalance_tolerance,
                                cfg_.lifecycle.max_migrations_per_cycle);
 }
 

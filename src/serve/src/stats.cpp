@@ -58,7 +58,17 @@ EngineStats::EngineStats()
       rebalance_ms_(&registry_.counter("nvcim_rebalance_ms_total", {},
                                        "cumulative rebalance() wall-clock (ms)")),
       rejected_(&registry_.counter("nvcim_requests_rejected_total", {},
-                                   "try_submit() rejections (queue full)")) {}
+                                   "try_submit() rejections (queue full)")),
+      programming_queue_depth_(&registry_.gauge("nvcim_programming_queue_depth", {},
+                                                "staged programming spans not yet executed")),
+      admission_latency_(&registry_.histogram("nvcim_admission_latency_ms", {},
+                                              "stage -> live admission latency (ms)",
+                                              latency_buckets())),
+      program_batch_columns_(&registry_.histogram("nvcim_program_batch_columns", {},
+                                                  "key columns per programming batch",
+                                                  latency_buckets())),
+      rejected_admissions_(&registry_.counter("nvcim_admissions_rejected_total", {},
+                                              "try_admit_user() rejections (pending bound)")) {}
 
 void EngineStats::start_clock() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -169,6 +179,19 @@ void EngineStats::record_rebalance(double ms) { rebalance_ms_->inc(ms); }
 
 void EngineStats::record_rejection() { rejected_->inc(); }
 
+void EngineStats::record_programming_enqueued(std::size_t spans) {
+  programming_queue_depth_->add(static_cast<double>(spans));
+}
+
+void EngineStats::record_program_batch(std::size_t columns) {
+  programming_queue_depth_->add(-1.0);
+  program_batch_columns_->record(static_cast<double>(columns));
+}
+
+void EngineStats::record_admission_latency(double ms) { admission_latency_->record(ms); }
+
+void EngineStats::record_admission_rejection() { rejected_admissions_->inc(); }
+
 void EngineStats::record_slow_request(const SlowRequest& slow) {
   std::lock_guard<std::mutex> lock(mu_);
   slow_.push_back(slow);
@@ -230,6 +253,14 @@ StatsSnapshot EngineStats::snapshot() const {
   s.router_refreshes = static_cast<std::size_t>(router_refreshes_->value());
   s.rebalance_ms = rebalance_ms_->value();
   s.rejected_requests = static_cast<std::size_t>(rejected_->value());
+  s.programming_queue_depth =
+      static_cast<std::size_t>(std::max(0.0, programming_queue_depth_->value()));
+  s.program_batches = static_cast<std::size_t>(program_batch_columns_->count());
+  if (s.program_batches > 0 || admission_latency_->count() > 0) {
+    s.admission_p50_ms = admission_latency_->value_at_quantile(0.50);
+    s.admission_p95_ms = admission_latency_->value_at_quantile(0.95);
+  }
+  s.rejected_admissions = static_cast<std::size_t>(rejected_admissions_->value());
   return s;
 }
 

@@ -81,6 +81,33 @@ TEST(ObsHistogram, PercentilesWithinFivePercentOfExact) {
   EXPECT_DOUBLE_EQ(h.max(), exact.back());
 }
 
+TEST(ObsHistogram, TailQuantilesSharingOneBucketStayDistinct) {
+  // Regression: the churn bench reported identical p95 and p99 because the
+  // old estimator returned the same midpoint-clamped value for every
+  // quantile landing in one bucket. Rank interpolation keeps them distinct
+  // and monotone in q.
+  obs::Histogram h;
+  for (int i = 0; i < 180; ++i) h.record(1.0);
+  // 20 tail samples inside ONE bucket of the default layout
+  // ((3.584, 3.648] = 2.048 * (1 + 24/32 .. 1 + 25/32)).
+  for (int i = 0; i < 20; ++i) h.record(3.590 + 0.002 * i);
+  ASSERT_EQ(h.bucket_index(3.590), h.bucket_index(3.628));
+
+  const double p95 = h.value_at_quantile(0.95);
+  const double p99 = h.value_at_quantile(0.99);
+  EXPECT_LT(p95, p99) << "quantiles in one bucket collapsed";
+  // Both stay inside the bucket and inside the exact [min, max] envelope.
+  EXPECT_GE(p95, 3.584);
+  EXPECT_LE(p99, h.max());
+  // Monotone in q across the whole tail.
+  double prev = 0.0;
+  for (const double q : {0.905, 0.93, 0.95, 0.97, 0.99, 0.999}) {
+    const double v = h.value_at_quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
 TEST(ObsHistogram, MergeMatchesCombinedRecording) {
   Rng rng(99);
   obs::Histogram a, b, combined;
