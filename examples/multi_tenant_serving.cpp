@@ -12,6 +12,13 @@
 // early user is evicted (its slot is reclaimed once in-flight batches
 // drain), and a rebalance cycle migrates slots if shard loads have skewed.
 //
+// All traffic enters through the async submission API: submit(Request,
+// SubmitOptions) returns a RequestHandle (future + cancel), options carry
+// per-request deadlines and priorities (the scheduler expires requests
+// whose deadline passes before dispatch and pulls urgent ones ahead of the
+// per-tenant round-robin), and admissions return an AdmissionHandle whose
+// wait() joins the write-behind programming.
+//
 // Observability rides along: span tracing is on (request → batch → stage →
 // shard → lifecycle-op spans land in multi_tenant_trace.json, loadable at
 // ui.perfetto.dev or chrome://tracing), every latency feeds per-tenant
@@ -19,7 +26,6 @@
 // below), and requests slower than slow_request_ms leave exemplars.
 
 #include <cstdio>
-#include <future>
 #include <vector>
 
 #include "nvcim/llm/profiles.hpp"
@@ -85,12 +91,22 @@ int main() {
   std::printf("engine: %zu users over %zu shards, %zu keys total\n", engine.n_users(),
               engine.store().n_shards(), engine.store().n_keys());
 
-  std::vector<std::future<serve::Response>> futures;
+  std::vector<serve::RequestHandle> handles;
   std::vector<std::pair<std::size_t, const data::Sample*>> sent;
   for (std::size_t round = 0; round < 3; ++round)
     for (std::size_t u = 0; u < n_users; ++u)
       for (const data::Sample& q : users[u].test) {
-        futures.push_back(engine.submit(u, q));
+        // The last round is latency-sensitive traffic: a (generous)
+        // deadline and a priority bump. The scheduler sorts these ahead
+        // within the tenant's queue, pulls them EDF-first when the
+        // deadline closes in, and would expire them (DeadlineExceeded,
+        // never touching the crossbar) rather than serve them late.
+        serve::SubmitOptions opts;
+        if (round == 2) {
+          opts.deadline_ms = 500.0;
+          opts.priority = 1;
+        }
+        handles.push_back(engine.submit(serve::Request{u, q}, opts));
         sent.emplace_back(u, &q);
       }
 
@@ -98,6 +114,7 @@ int main() {
   // User 6 trains while the engine is busy, then joins the live store; user
   // 0 churns out. In-flight batches keep serving against their pinned
   // directory epoch throughout.
+  serve::AdmissionHandle admission;
   {
     users.push_back(task.make_user(n_users, 20, 8));
     core::FrameworkConfig cfg_u = fcfg;
@@ -105,32 +122,34 @@ int main() {
     core::NvcimPtFramework fw(model, task, cfg_u);
     fw.initialize_autoencoder(24);
     fw.train_from_buffer(users[n_users].train);
-    engine.admit_user(n_users, fw.export_deployment());  // returns staged
+    admission = engine.admit(n_users, fw.export_deployment());  // returns staged
     std::printf("admitted user %zu mid-serve (%zu keys, router refreshed)\n", n_users,
                 engine.deployment(n_users).n_ovts());
   }
   // Join the write-behind programming before routing traffic at the tenant
   // (Pending → Live; usually settled already by the in-flight waves).
-  engine.wait_admitted(n_users);
+  admission.wait();
   for (const data::Sample& q : users[n_users].test) {
-    futures.push_back(engine.submit(n_users, q));
+    handles.push_back(engine.submit(serve::Request{n_users, q}));
     sent.emplace_back(n_users, &q);
   }
   engine.evict_user(0);
   std::printf("evicted user 0 (slot reclaimed after in-flight batches drain)\n");
   const std::size_t migrated = engine.rebalance();
 
-  std::size_t correct = 0, labelled = 0, shed = 0;
-  for (std::size_t i = 0; i < futures.size(); ++i) {
+  std::size_t correct = 0, labelled = 0, shed = 0, late = 0;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
     try {
-      const serve::Response r = futures[i].get();
+      const serve::Response r = handles[i].get();
+      if (r.deadline_missed) ++late;
       if (r.has_label) {
         ++labelled;
         if (r.label == static_cast<std::size_t>(sent[i].second->label)) ++correct;
       }
     } catch (const Error&) {
       // A request still queued (not yet in a batch) when its user was
-      // evicted fails with an error instead of serving stale state.
+      // evicted — or one whose deadline expired before dispatch — fails
+      // with an error instead of serving stale (or late) state.
       ++shed;
     }
   }
@@ -144,6 +163,8 @@ int main() {
               s.p95_latency_ms, s.p99_latency_ms);
   std::printf("queue       wait p50 %.2f ms   p95 %.2f ms   depth HWM %zu\n",
               s.queue_wait_p50_ms, s.queue_wait_p95_ms, s.queue_depth_hwm);
+  std::printf("deadlines   %zu expired before dispatch, %zu served past deadline\n",
+              s.expired_requests, late);
   const double stage_total = s.encode_ms + s.retrieve_ms + s.decode_ms + s.classify_ms;
   std::printf("stages      encode %.1f ms (%.0f%%) | retrieve %.1f ms (%.0f%%) | "
               "decode %.1f ms (%.0f%%) | classify %.1f ms (%.0f%%)\n",

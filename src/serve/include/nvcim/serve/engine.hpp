@@ -18,6 +18,8 @@
 #include "nvcim/obs/trace.hpp"
 #include "nvcim/serve/lru_cache.hpp"
 #include "nvcim/serve/ovt_store.hpp"
+#include "nvcim/serve/request.hpp"
+#include "nvcim/serve/scheduler.hpp"
 #include "nvcim/serve/stats.hpp"
 
 namespace nvcim::serve {
@@ -34,6 +36,10 @@ struct ServingConfig {
   std::size_t min_batch = 1;
   double batch_window_ms = 2.0;
   std::size_t queue_capacity = 64;   ///< submit() blocks when the queue is full
+  /// Cross-tenant request scheduling: DRR fair queuing with EDF-critical
+  /// pull and optional per-tenant rate limits (SchedPolicy::Fifo restores
+  /// the legacy global arrival order for A/B).
+  SchedulerConfig scheduler;
   std::size_t cache_capacity = 32;   ///< decoded-OVT LRU entries
   bool run_inference = false;        ///< also classify with the shared backbone
   /// Fan the retrieve stage's per-shard MVM passes out across the worker
@@ -67,14 +73,67 @@ struct ServingConfig {
   std::uint64_t seed = 2026;
 };
 
-/// Answer to one serving request.
-struct Response {
-  std::size_t user_id = 0;
-  std::size_t ovt_index = 0;  ///< user-local index of the retrieved OVT
-  std::size_t label = 0;      ///< classify() result when run_inference is on
-  bool has_label = false;
-  bool cache_hit = false;     ///< decoded prompt came from the LRU cache
-  double latency_ms = 0.0;    ///< submit → completion
+class ServingEngine;
+
+/// Handle to one submitted request: the future, the engine-unique request id
+/// and cancel-before-dispatch. Returned by ServingEngine::submit(). A
+/// default-constructed (or rejected — OverloadPolicy::Reject with a full
+/// queue) handle is !valid() and carries no future. The handle must not
+/// outlive its engine.
+class RequestHandle {
+ public:
+  RequestHandle() = default;
+
+  /// False ⇔ the submission was rejected (queue full under
+  /// OverloadPolicy::Reject) — the legacy try_submit() nullopt.
+  bool valid() const { return engine_ != nullptr; }
+  std::uint64_t id() const { return id_; }
+
+  std::future<Response>& future() { return future_; }
+  /// Move the future out (e.g. to stash handles in a container of futures).
+  std::future<Response> take_future() { return std::move(future_); }
+  /// Block for the response (rethrows the request's error, if any).
+  Response get() { return future_.get(); }
+
+  /// Cancel the request if it is still queued: true ⇔ it was removed before
+  /// dispatch (its future settles with Cancelled). False once a worker owns
+  /// it — the request will complete normally.
+  bool cancel();
+
+ private:
+  friend class ServingEngine;
+  RequestHandle(ServingEngine* engine, std::uint64_t id, std::future<Response> fut)
+      : engine_(engine), id_(id), future_(std::move(fut)) {}
+
+  ServingEngine* engine_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::future<Response> future_;
+};
+
+/// Handle to one admission: valid() ⇔ the admission was accepted (false is
+/// the legacy try_admit_user() == false rejection), wait() joins a
+/// write-behind admission (rethrows its error on rollback). The handle must
+/// not outlive its engine.
+class AdmissionHandle {
+ public:
+  AdmissionHandle() = default;
+
+  /// False ⇔ the admission was rejected (pending-admission bound hit under
+  /// AdmitOptions::non_blocking).
+  bool valid() const { return engine_ != nullptr; }
+  std::size_t user_id() const { return user_id_; }
+
+  /// Block until the tenant is live (immediately for synchronous
+  /// admissions). Rethrows the admission's error if programming failed.
+  void wait();
+
+ private:
+  friend class ServingEngine;
+  AdmissionHandle(ServingEngine* engine, std::size_t user_id)
+      : engine_(engine), user_id_(user_id) {}
+
+  ServingEngine* engine_ = nullptr;
+  std::size_t user_id_ = 0;
 };
 
 /// Multi-tenant serving engine over one frozen backbone: owns N users'
@@ -118,26 +177,58 @@ class ServingEngine {
   void start();
   bool running() const { return running_; }
 
-  /// Drain the queue and join the workers. Idempotent.
+  /// Join the workers and settle every still-queued request's future with
+  /// EngineStopped (queued work is never silently dropped OR silently served
+  /// after shutdown began; in-flight batches complete normally). Idempotent.
   void stop();
 
-  /// Enqueue one request; blocks while the queue is at capacity
-  /// (backpressure). The future resolves when a worker completes the batch
-  /// containing the request.
+  // ---- Submission (the one entry point; the rest are shims over it) ----
+
+  /// Enqueue one request under its scheduling contract and return a handle
+  /// carrying the future, the request id and cancel-before-dispatch.
+  /// Blocking/rejecting/deadline/priority/callback semantics all live in
+  /// `opts` (see SubmitOptions), not in which function was called. With a
+  /// full queue the call blocks under OverloadPolicy::Block and returns an
+  /// invalid handle (bumping EngineStats::rejected_requests) under Reject.
+  RequestHandle submit(Request request, SubmitOptions opts = {});
+
+  /// Cancel a still-queued request by id (RequestHandle::cancel()'s
+  /// implementation): true ⇔ it was removed before dispatch; its future
+  /// settles with Cancelled and EngineStats::cancelled_requests bumps.
+  bool cancel(std::uint64_t request_id);
+
+  /// Per-tenant rate limit (requests/second, 0 = unlimited), applied at
+  /// dequeue: an over-limit tenant's backlog stays queued while other
+  /// tenants are scheduled. Callable while serving.
+  void set_rate_limit(std::size_t user_id, double rps);
+
+  // ---- Deprecated submission shims (prefer submit(Request, SubmitOptions)) ----
+
+  /// DEPRECATED shim: submit({user, query}).take_future() with blocking
+  /// backpressure — the pre-PR 8 submit().
   std::future<Response> submit(std::size_t user_id, data::Sample query);
 
-  /// Non-blocking admission control: like submit(), but when the bounded
-  /// queue is full the request is REJECTED instead of blocking the caller —
-  /// returns std::nullopt (the engine is Overloaded) and bumps
-  /// EngineStats::rejected_requests. The first step past pure blocking
-  /// backpressure: callers can shed or retry with their own policy.
+  /// DEPRECATED shim: submit() under OverloadPolicy::Reject — nullopt when
+  /// the queue is full (the pre-PR 8 try_submit()).
   std::optional<std::future<Response>> try_submit(std::size_t user_id, data::Sample query);
 
-  /// Synchronous convenience: submit and wait.
+  /// DEPRECATED shim: submit and wait.
   Response serve(std::size_t user_id, const data::Sample& query);
 
   // ---- Online tenant lifecycle (requires ServingConfig::lifecycle) ----
 
+  /// Admit a user while serving (one entry point; AdmitOptions carries the
+  /// non-blocking / join-before-return semantics the admit_user /
+  /// try_admit_user / wait_admitted trio used to encode in function names).
+  /// Returns an invalid handle ⇔ the write-behind pending-admission bound
+  /// rejected the call under `opts.non_blocking`. Before start() this is
+  /// equivalent to add_deployment(). See admit_user() for the write-behind
+  /// protocol details.
+  AdmissionHandle admit(std::size_t user_id, core::TrainedDeployment deployment,
+                        AdmitOptions opts = {});
+
+  /// DEPRECATED shim for admit(): blocking admission, no join.
+  ///
   /// Admit a user while serving: program its keys into the live store (new
   /// epoch; in-flight batches are untouched) and take ownership of the
   /// deployment. Before start() this is equivalent to add_deployment().
@@ -152,13 +243,16 @@ class ServingEngine {
   /// blocks (backpressure); try_admit_user() rejects instead.
   void admit_user(std::size_t user_id, core::TrainedDeployment deployment);
 
+  /// DEPRECATED shim for admit(..., {.non_blocking = true}).valid().
+  ///
   /// Non-blocking admission control for admit_user(): when the write-behind
   /// pending bound is hit the admission is REJECTED — returns false (the
   /// engine is Overloaded, EngineStats::rejected_admissions bumps) instead
   /// of blocking. Synchronous-path admissions always proceed (return true).
   bool try_admit_user(std::size_t user_id, core::TrainedDeployment deployment);
 
-  /// Join one write-behind admission: block until the user's staged columns
+  /// Join one write-behind admission (AdmissionHandle::wait()'s
+  /// implementation): block until the user's staged columns
   /// are fully programmed and the tenant is live. Rethrows the admission's
   /// error if programming failed (the admission was rolled back). Returns
   /// immediately for already-live users; throws for unknown ones.
@@ -206,13 +300,6 @@ class ServingEngine {
   std::size_t coalesced_fetches() const { return coalesced_fetches_; }
 
  private:
-  struct Pending {
-    std::size_t user_id = 0;
-    data::Sample query;
-    std::chrono::steady_clock::time_point enqueued;
-    std::promise<Response> promise;
-  };
-
   /// One user's pinned serving state: the deployment (shared_ptr — eviction
   /// drops the map entry, in-flight batches keep theirs alive) and its
   /// admission generation. Decoded-prompt cache keys use the generation,
@@ -275,7 +362,15 @@ class ServingEngine {
   };
 
   void worker_loop();
-  void process_batch(std::vector<Pending>&& batch, WorkerState& ws);
+  void process_batch(std::vector<QueuedRequest>&& batch, WorkerState& ws);
+  /// Settle one request's future, then fire its on_complete (exactly once,
+  /// in that order; callback exceptions are swallowed). The single funnel
+  /// for every completion path: served, failed, expired, cancelled, stopped.
+  static void finish(QueuedRequest& req, Response&& resp);
+  static void finish_error(QueuedRequest& req, std::exception_ptr error);
+  /// Settle a batch of already-expired requests with DeadlineExceeded and
+  /// account them (stats + tracer). Called outside queue_mu_.
+  void expire_requests(std::vector<QueuedRequest>&& expired);
   /// Shared body of admit_user()/try_admit_user(). Returns false only when
   /// `may_block` is false and the pending-admission bound rejects the call.
   bool admit_user_impl(std::size_t user_id, core::TrainedDeployment deployment, bool may_block);
@@ -327,7 +422,9 @@ class ServingEngine {
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;      ///< workers wait for work / shutdown
   std::condition_variable capacity_cv_;   ///< producers wait for queue space
-  std::deque<Pending> queue_;
+  /// Deadline/priority-aware per-tenant request queue (guarded by queue_mu_;
+  /// the scheduler itself is passive — see RequestScheduler).
+  RequestScheduler sched_;
   /// Stage subtasks fanned out by an in-flight batch (guarded by queue_mu_).
   /// Workers drain these before taking new request batches — an aux task
   /// unblocks a batch that is already holding requests.
@@ -346,6 +443,13 @@ class ServingEngine {
   EngineStats stats_;
   obs::Tracer tracer_;
   std::atomic<std::uint64_t> next_batch_id_{0};  ///< links batch/stage/shard spans
+  std::atomic<std::uint64_t> next_request_id_{1};  ///< RequestHandle ids (0 = invalid)
 };
+
+inline bool RequestHandle::cancel() { return engine_ != nullptr && engine_->cancel(id_); }
+
+inline void AdmissionHandle::wait() {
+  if (engine_ != nullptr) engine_->wait_admitted(user_id_);
+}
 
 }  // namespace nvcim::serve

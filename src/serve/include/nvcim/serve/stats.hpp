@@ -72,9 +72,18 @@ struct StatsSnapshot {
   /// refresh never re-clusters tenants whose membership didn't change.
   std::size_t router_refreshes = 0;
   double rebalance_ms = 0.0;        ///< cumulative rebalance() wall-clock
-  /// try_submit() calls bounced with Overloaded because the queue was full
-  /// (non-blocking admission control; submit() still blocks instead).
+  /// Submissions bounced with Overloaded because the queue was full
+  /// (OverloadPolicy::Reject; Block still applies backpressure instead).
   std::size_t rejected_requests = 0;
+  // SLO accounting (PR 8 async lifecycle; zero without deadlines in play).
+  /// Requests whose deadline passed while still queued: dropped with
+  /// DeadlineExceeded before any crossbar work, never counted in `requests`.
+  std::size_t expired_requests = 0;
+  /// Requests dispatched in time but completed after their deadline (the
+  /// answer was still delivered, with Response::deadline_missed set).
+  std::size_t deadline_missed = 0;
+  /// Requests removed by RequestHandle::cancel() before dispatch.
+  std::size_t cancelled_requests = 0;
   // Write-behind admission accounting (zero on the synchronous path).
   /// Programming spans staged but not yet executed (live queue depth).
   std::size_t programming_queue_depth = 0;
@@ -159,6 +168,12 @@ class EngineStats {
   /// Accumulate one rebalance() cycle's wall-clock.
   void record_rebalance(double ms);
   void record_rejection();
+  /// One request expired in-queue (deadline passed before dispatch).
+  void record_expired(std::size_t user_id);
+  /// One request completed after its deadline (dispatched, late).
+  void record_deadline_miss(std::size_t user_id);
+  /// One request cancelled before dispatch.
+  void record_cancellation();
 
   // ---- Write-behind admission ----
   /// `spans` programming batches were staged (queue depth rises by spans).
@@ -189,6 +204,9 @@ class EngineStats {
     obs::Counter* requests = nullptr;
     obs::Counter* candidates = nullptr;
     obs::Histogram* latency = nullptr;
+    obs::Histogram* queue_wait = nullptr;
+    obs::Counter* expired = nullptr;
+    obs::Counter* deadline_missed = nullptr;
   };
   /// Cached per-tenant metric pointers (creates the labelled series on
   /// first sight). Caller must hold mu_.
@@ -224,6 +242,9 @@ class EngineStats {
   obs::Histogram* admission_latency_;
   obs::Histogram* program_batch_columns_;
   obs::Counter* rejected_admissions_;
+  obs::Counter* expired_;
+  obs::Counter* deadline_missed_;
+  obs::Counter* cancelled_;
 
   mutable std::mutex mu_;  ///< guards clock state, shard/tenant caches, slow_
   Clock::time_point start_{};

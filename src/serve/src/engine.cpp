@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 #include <utility>
 
 namespace nvcim::serve {
@@ -33,6 +34,7 @@ ServingEngine::ServingEngine(llm::TinyLM& model, const data::LampTask& task, Ser
       cfg_(cfg),
       store_(store_config(cfg)),
       cache_(cfg.cache_capacity),
+      sched_(cfg.scheduler),
       tracer_(cfg.tracing) {
   NVCIM_CHECK_MSG(cfg_.n_threads > 0, "engine needs at least one worker");
   NVCIM_CHECK_MSG(cfg_.max_batch > 0, "max_batch must be positive");
@@ -58,12 +60,22 @@ void ServingEngine::add_deployment(std::size_t user_id, core::TrainedDeployment 
   live_generations_.insert(generation);
 }
 
+AdmissionHandle ServingEngine::admit(std::size_t user_id, core::TrainedDeployment deployment,
+                                     AdmitOptions opts) {
+  if (!admit_user_impl(user_id, std::move(deployment), /*may_block=*/!opts.non_blocking))
+    return AdmissionHandle{};  // rejected: pending-admission bound hit
+  AdmissionHandle handle(this, user_id);
+  if (opts.wait) handle.wait();
+  return handle;
+}
+
 void ServingEngine::admit_user(std::size_t user_id, core::TrainedDeployment deployment) {
-  admit_user_impl(user_id, std::move(deployment), /*may_block=*/true);
+  admit(user_id, std::move(deployment));
 }
 
 bool ServingEngine::try_admit_user(std::size_t user_id, core::TrainedDeployment deployment) {
-  return admit_user_impl(user_id, std::move(deployment), /*may_block=*/false);
+  return admit(user_id, std::move(deployment), AdmitOptions{/*non_blocking=*/true, false})
+      .valid();
 }
 
 bool ServingEngine::admit_user_impl(std::size_t user_id, core::TrainedDeployment deployment,
@@ -427,6 +439,18 @@ void ServingEngine::stop() {
   capacity_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
   workers_.clear();
+  // Still-queued requests never dangle and are never silently served after
+  // shutdown began: every undispatched future settles with EngineStopped
+  // BEFORE stop() returns (in-flight batches completed above, in join).
+  std::vector<QueuedRequest> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    leftover = sched_.drain();
+  }
+  for (QueuedRequest& r : leftover)
+    finish_error(r, std::make_exception_ptr(EngineStopped(
+                        "engine stopped with request " + std::to_string(r.id) +
+                        " still queued")));
   running_ = false;
   // Freeze the throughput clock: every request is accounted for once the
   // workers have drained, so later snapshots stay stable instead of diving
@@ -434,7 +458,34 @@ void ServingEngine::stop() {
   stats_.stop_clock();
 }
 
-std::future<Response> ServingEngine::submit(std::size_t user_id, data::Sample query) {
+void ServingEngine::finish(QueuedRequest& req, Response&& resp) {
+  // Future first, callback second: a callback that itself waits on the
+  // future must never deadlock. Callback errors are swallowed — they run on
+  // serving threads.
+  auto on_complete = std::move(req.on_complete);
+  Response cb_copy;
+  if (on_complete) cb_copy = resp;
+  req.promise.set_value(std::move(resp));
+  if (on_complete) {
+    try {
+      on_complete(cb_copy, nullptr);
+    } catch (...) {
+    }
+  }
+}
+
+void ServingEngine::finish_error(QueuedRequest& req, std::exception_ptr error) {
+  auto on_complete = std::move(req.on_complete);
+  req.promise.set_exception(error);
+  if (on_complete) {
+    try {
+      on_complete(Response{}, error);
+    } catch (...) {
+    }
+  }
+}
+
+RequestHandle ServingEngine::submit(Request request, SubmitOptions opts) {
   NVCIM_CHECK_MSG(running_, "engine not started");
   // Both halves of an admission must be visible: the deployment AND the
   // store slot — and the slot must be LIVE (fully programmed), not a
@@ -442,105 +493,169 @@ std::future<Response> ServingEngine::submit(std::size_t user_id, data::Sample qu
   // would let a request race into a batch whose pinned epoch predates the
   // slot and fail spuriously; admitting a Pending one would score
   // half-programmed columns.
-  NVCIM_CHECK_MSG(find_deployment(user_id).dep != nullptr && store_.user_live(user_id),
-                  "unknown user " << user_id);
-  Pending p;
-  p.user_id = user_id;
-  p.query = std::move(query);
-  p.enqueued = std::chrono::steady_clock::now();
-  std::future<Response> fut = p.promise.get_future();
+  NVCIM_CHECK_MSG(find_deployment(request.user_id).dep != nullptr &&
+                      store_.user_live(request.user_id),
+                  "unknown user " << request.user_id);
+  QueuedRequest qr;
+  qr.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  qr.user_id = request.user_id;
+  qr.query = std::move(request.query);
+  qr.priority = opts.priority;
+  qr.enqueued = std::chrono::steady_clock::now();
+  if (opts.deadline_ms > 0.0)
+    qr.deadline = qr.enqueued + std::chrono::duration_cast<QueuedRequest::Clock::duration>(
+                                    std::chrono::duration<double, std::milli>(opts.deadline_ms));
+  qr.on_complete = std::move(opts.on_complete);
+  const QueuedRequest::Clock::time_point enqueued = qr.enqueued;
+  RequestHandle handle(this, qr.id, qr.promise.get_future());
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
-    capacity_cv_.wait(lock, [this] { return queue_.size() < cfg_.queue_capacity || stopping_; });
-    NVCIM_CHECK_MSG(!stopping_, "engine is stopping");
-    queue_.push_back(std::move(p));
-    stats_.record_queue_depth(queue_.size());
+    if (opts.overload_policy == OverloadPolicy::Reject) {
+      NVCIM_CHECK_MSG(!stopping_, "engine is stopping");
+      if (sched_.size() >= cfg_.queue_capacity) {
+        // Overloaded: reject instead of blocking — the caller owns the
+        // shed/retry policy. The counter is the observable signal.
+        stats_.record_rejection();
+        return RequestHandle{};
+      }
+    } else {
+      capacity_cv_.wait(lock,
+                        [this] { return sched_.size() < cfg_.queue_capacity || stopping_; });
+      NVCIM_CHECK_MSG(!stopping_, "engine is stopping");
+    }
+    sched_.push(std::move(qr), enqueued);
+    stats_.record_queue_depth(sched_.size());
   }
   queue_cv_.notify_one();
-  return fut;
+  return handle;
+}
+
+bool ServingEngine::cancel(std::uint64_t request_id) {
+  QueuedRequest out;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!sched_.cancel(request_id, &out)) return false;
+  }
+  capacity_cv_.notify_one();  // one queue slot freed
+  finish_error(out, std::make_exception_ptr(Cancelled(
+                        "request " + std::to_string(request_id) +
+                        " cancelled before dispatch")));
+  stats_.record_cancellation();
+  return true;
+}
+
+void ServingEngine::set_rate_limit(std::size_t user_id, double rps) {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  sched_.set_rate_limit(user_id, rps);
+}
+
+std::future<Response> ServingEngine::submit(std::size_t user_id, data::Sample query) {
+  return submit(Request{user_id, std::move(query)}).take_future();
 }
 
 std::optional<std::future<Response>> ServingEngine::try_submit(std::size_t user_id,
                                                                data::Sample query) {
-  NVCIM_CHECK_MSG(running_, "engine not started");
-  NVCIM_CHECK_MSG(find_deployment(user_id).dep != nullptr && store_.user_live(user_id),
-                  "unknown user " << user_id);
-  Pending p;
-  p.user_id = user_id;
-  p.query = std::move(query);
-  p.enqueued = std::chrono::steady_clock::now();
-  std::future<Response> fut = p.promise.get_future();
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    NVCIM_CHECK_MSG(!stopping_, "engine is stopping");
-    if (queue_.size() >= cfg_.queue_capacity) {
-      // Overloaded: reject instead of blocking — the caller owns the
-      // shed/retry policy. The counter is the observable signal.
-      stats_.record_rejection();
-      return std::nullopt;
-    }
-    queue_.push_back(std::move(p));
-    stats_.record_queue_depth(queue_.size());
-  }
-  queue_cv_.notify_one();
-  return fut;
+  SubmitOptions opts;
+  opts.overload_policy = OverloadPolicy::Reject;
+  RequestHandle handle = submit(Request{user_id, std::move(query)}, std::move(opts));
+  if (!handle.valid()) return std::nullopt;
+  return handle.take_future();
 }
 
 Response ServingEngine::serve(std::size_t user_id, const data::Sample& query) {
-  return submit(user_id, query).get();
+  return submit(Request{user_id, query}).get();
 }
 
 void ServingEngine::worker_loop() {
+  using Clock = std::chrono::steady_clock;
   WorkerState ws;
   for (;;) {
     AuxTask aux;
-    std::vector<Pending> batch;
+    std::vector<QueuedRequest> batch;
+    std::vector<QueuedRequest> expired;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock,
-                     [this] { return !aux_queue_.empty() || !queue_.empty() || stopping_; });
+                     [this] { return !aux_queue_.empty() || !sched_.empty() || stopping_; });
       // Aux tasks first: they belong to a batch already in flight, and the
       // coordinating worker is blocked until they finish.
       if (!aux_queue_.empty()) {
         aux = std::move(aux_queue_.front());
         aux_queue_.pop_front();
-      } else if (!queue_.empty()) {
-        // Batch coalescing: give a thin queue a bounded window to fill up to
-        // min_batch before dequeuing, so bursts form full-width batches. An
-        // aux task arriving during the window preempts the wait.
-        if (cfg_.min_batch > 1 && queue_.size() < cfg_.min_batch && !stopping_) {
-          queue_cv_.wait_for(
-              lock, std::chrono::duration<double, std::milli>(cfg_.batch_window_ms), [this] {
-                return queue_.size() >= cfg_.min_batch || !aux_queue_.empty() || stopping_;
-              });
+      } else if (stopping_) {
+        // Queued-but-undispatched requests are NOT drained after stop():
+        // they fail with EngineStopped (stop() settles them once every
+        // worker has joined). Aux tasks above still run — they belong to
+        // batches already in flight.
+        return;
+      } else {
+        // Deadline-aware batch formation. Expire the already-dead first:
+        // they must never reach the crossbar, and they must not count
+        // toward min_batch.
+        expired = sched_.take_expired(Clock::now());
+        // Coalescing: give a thin queue a bounded window to fill up to
+        // min_batch — but never sleep past the tightest live deadline
+        // (dispatch early instead of letting it expire mid-window). An aux
+        // task arriving during the window preempts the wait.
+        if (!sched_.empty() && cfg_.min_batch > 1 && sched_.size() < cfg_.min_batch) {
+          double window_ms = cfg_.batch_window_ms;
+          const Clock::time_point tightest = sched_.next_deadline();
+          if (tightest != QueuedRequest::kNoDeadline) {
+            const double to_deadline = ms_between(Clock::now(), tightest);
+            window_ms = std::max(0.0, std::min(window_ms, to_deadline));
+          }
+          if (window_ms > 0.0) {
+            queue_cv_.wait_for(
+                lock, std::chrono::duration<double, std::milli>(window_ms), [this] {
+                  return sched_.size() >= cfg_.min_batch || !aux_queue_.empty() || stopping_;
+                });
+          }
           if (!aux_queue_.empty()) {
             aux = std::move(aux_queue_.front());
             aux_queue_.pop_front();
           }
         }
-        if (!aux && queue_.empty()) continue;  // another worker drained it
         if (!aux) {
-          const std::size_t take = std::min(cfg_.max_batch, queue_.size());
-          batch.reserve(take);
-          for (std::size_t i = 0; i < take; ++i) {
-            batch.push_back(std::move(queue_.front()));
-            queue_.pop_front();
-          }
+          // Re-check expiry at dispatch time (the window may have outlived a
+          // deadline that arrived mid-wait), then pull the batch under the
+          // configured policy (DRR fair rotation + EDF-critical pull).
+          const Clock::time_point now = Clock::now();
+          auto late = sched_.take_expired(now);
+          std::move(late.begin(), late.end(), std::back_inserter(expired));
+          if (!stopping_) batch = sched_.pop_batch(cfg_.max_batch, now);
         }
-      } else {
-        return;  // stopping and fully drained
       }
+    }
+    if (!expired.empty()) {
+      capacity_cv_.notify_all();
+      expire_requests(std::move(expired));
     }
     if (aux) {
       aux(ws);
       continue;
     }
+    if (batch.empty()) continue;  // another worker drained it
     capacity_cv_.notify_all();
     process_batch(std::move(batch), ws);
   }
 }
 
-void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws) {
+void ServingEngine::expire_requests(std::vector<QueuedRequest>&& expired) {
+  const auto now = std::chrono::steady_clock::now();
+  for (QueuedRequest& r : expired) {
+    stats_.record_expired(r.user_id);
+    if (tracer_.enabled())
+      tracer_.complete("request_expired", "request", tracer_.to_us(r.enqueued),
+                       tracer_.to_us(now), "user", static_cast<std::int64_t>(r.user_id),
+                       "priority", static_cast<std::int64_t>(r.priority));
+    finish_error(r, std::make_exception_ptr(DeadlineExceeded(
+                        "request " + std::to_string(r.id) + " for user " +
+                        std::to_string(r.user_id) + " expired after " +
+                        std::to_string(ms_between(r.enqueued, now)) + " ms queued")));
+  }
+}
+
+void ServingEngine::process_batch(std::vector<QueuedRequest>&& batch, WorkerState& ws) {
   stats_.record_batch(batch.size());
   const std::size_t B = batch.size();
 
@@ -550,7 +665,7 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
   std::vector<char> failed(B, 0);
   const auto fail = [&](std::size_t i) {
     failed[i] = 1;
-    batch[i].promise.set_exception(std::current_exception());
+    finish_error(batch[i], std::current_exception());
   };
 
   using Clock = std::chrono::steady_clock;
@@ -593,8 +708,9 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
       // re-admitted as a still-Pending write-behind slot whose columns are
       // mid-programming) — fail just this request.
       failed[i] = 1;
-      batch[i].promise.set_exception(std::make_exception_ptr(
-          Error("user " + std::to_string(batch[i].user_id) + " was evicted")));
+      finish_error(batch[i], std::make_exception_ptr(Error(
+                                 "user " + std::to_string(batch[i].user_id) +
+                                 " was evicted")));
     }
   }
 
@@ -927,7 +1043,7 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
       if (ld.error) {
         if (!failed[ld.req]) {
           failed[ld.req] = 1;
-          batch[ld.req].promise.set_exception(ld.error);
+          finish_error(batch[ld.req], ld.error);
         }
       } else {
         prompts[ld.req] = ld.value;
@@ -1004,7 +1120,7 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
   std::vector<SlowRequest> slow;
   for (std::size_t i = 0; i < B; ++i) {
     if (failed[i]) continue;
-    Pending& p = batch[i];
+    QueuedRequest& p = batch[i];
     try {
       Response resp;
       resp.user_id = p.user_id;
@@ -1024,12 +1140,30 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
       // service time. Clamped non-negative for requests enqueued mid-window.
       const double wait_ms =
           std::max(0.0, std::min(resp.latency_ms, ms_between(p.enqueued, batch_start)));
+      resp.queue_wait_ms = wait_ms;
+      // Dispatched in time but finished late: the answer is delivered (only
+      // already-expired requests are dropped), the miss is accounted.
+      resp.deadline_missed = p.has_deadline() && done > p.deadline;
+      if (resp.deadline_missed) stats_.record_deadline_miss(p.user_id);
       stats_.record_request(p.user_id, resp.latency_ms, wait_ms, resp.cache_hit);
-      if (tracer_.enabled())
+      if (tracer_.enabled()) {
         tracer_.complete("request", "request", tracer_.to_us(p.enqueued),
                          tracer_.to_us(done), "user",
                          static_cast<std::int64_t>(p.user_id), "batch",
                          static_cast<std::int64_t>(batch_id));
+        // SLO-annotated sibling span for requests with a scheduling
+        // contract: deadline slack (negative = missed) and priority.
+        if (p.has_deadline() || p.priority != 0)
+          tracer_.complete("request_slo", "request", tracer_.to_us(p.enqueued),
+                           tracer_.to_us(done), "slack_us",
+                           p.has_deadline()
+                               ? static_cast<std::int64_t>(
+                                     std::chrono::duration_cast<std::chrono::microseconds>(
+                                         p.deadline - done)
+                                         .count())
+                               : std::int64_t{0},
+                           "priority", static_cast<std::int64_t>(p.priority));
+      }
       if (cfg_.slow_request_ms > 0.0 && resp.latency_ms >= cfg_.slow_request_ms) {
         SlowRequest sr;
         sr.user_id = p.user_id;
@@ -1038,7 +1172,7 @@ void ServingEngine::process_batch(std::vector<Pending>&& batch, WorkerState& ws)
         sr.queue_wait_ms = wait_ms;
         slow.push_back(sr);  // stage times filled in below, once classify laps
       }
-      p.promise.set_value(std::move(resp));
+      finish(p, std::move(resp));
     } catch (...) {
       fail(i);
     }

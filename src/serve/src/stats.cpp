@@ -68,7 +68,13 @@ EngineStats::EngineStats()
                                                   "key columns per programming batch",
                                                   latency_buckets())),
       rejected_admissions_(&registry_.counter("nvcim_admissions_rejected_total", {},
-                                              "try_admit_user() rejections (pending bound)")) {}
+                                              "try_admit_user() rejections (pending bound)")),
+      expired_(&registry_.counter("nvcim_requests_expired_total", {},
+                                  "requests dropped in-queue past their deadline")),
+      deadline_missed_(&registry_.counter("nvcim_deadline_missed_total", {},
+                                          "requests completed after their deadline")),
+      cancelled_(&registry_.counter("nvcim_requests_cancelled_total", {},
+                                    "requests cancelled before dispatch")) {}
 
 void EngineStats::start_clock() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -96,6 +102,13 @@ EngineStats::TenantMetrics& EngineStats::tenant_locked(std::size_t user_id) {
     tm.latency = &registry_.histogram("nvcim_tenant_request_latency_ms", labels,
                                       "per-tenant submit -> response latency (ms)",
                                       latency_buckets());
+    tm.queue_wait = &registry_.histogram("nvcim_tenant_queue_wait_ms", labels,
+                                         "per-tenant submit -> batch dequeue wait (ms)",
+                                         latency_buckets());
+    tm.expired = &registry_.counter("nvcim_tenant_requests_expired_total", labels,
+                                    "per-tenant requests dropped past their deadline");
+    tm.deadline_missed = &registry_.counter("nvcim_tenant_deadline_missed_total", labels,
+                                            "per-tenant requests completed late");
   }
   return tm;
 }
@@ -107,13 +120,16 @@ void EngineStats::record_request(std::size_t user_id, double latency_ms,
   service_->record(std::max(0.0, latency_ms - queue_wait_ms));
   (cache_hit ? cache_hits_ : cache_misses_)->inc();
   obs::Histogram* tenant_latency = nullptr;
+  obs::Histogram* tenant_queue_wait = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     TenantMetrics& tm = tenant_locked(user_id);
     tm.requests->inc();
     tenant_latency = tm.latency;
+    tenant_queue_wait = tm.queue_wait;
   }
   tenant_latency->record(latency_ms);
+  tenant_queue_wait->record(queue_wait_ms);
 }
 
 void EngineStats::record_queue_depth(std::size_t depth) {
@@ -178,6 +194,20 @@ void EngineStats::record_migration() { migrations_->inc(); }
 void EngineStats::record_rebalance(double ms) { rebalance_ms_->inc(ms); }
 
 void EngineStats::record_rejection() { rejected_->inc(); }
+
+void EngineStats::record_expired(std::size_t user_id) {
+  expired_->inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  tenant_locked(user_id).expired->inc();
+}
+
+void EngineStats::record_deadline_miss(std::size_t user_id) {
+  deadline_missed_->inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  tenant_locked(user_id).deadline_missed->inc();
+}
+
+void EngineStats::record_cancellation() { cancelled_->inc(); }
 
 void EngineStats::record_programming_enqueued(std::size_t spans) {
   programming_queue_depth_->add(static_cast<double>(spans));
@@ -261,6 +291,9 @@ StatsSnapshot EngineStats::snapshot() const {
     s.admission_p95_ms = admission_latency_->value_at_quantile(0.95);
   }
   s.rejected_admissions = static_cast<std::size_t>(rejected_admissions_->value());
+  s.expired_requests = static_cast<std::size_t>(expired_->value());
+  s.deadline_missed = static_cast<std::size_t>(deadline_missed_->value());
+  s.cancelled_requests = static_cast<std::size_t>(cancelled_->value());
   return s;
 }
 

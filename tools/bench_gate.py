@@ -44,6 +44,18 @@ Policy (chosen so the gate is meaningful across runner generations):
     return to that regime while leaving headroom for single-core runners,
     where serving and programming share one core and the floor is the CPU
     ratio itself (~3.3-3.7x regardless of overlap).
+  * ``fairness_impact`` (the SLO scenario's cold-tenant p99 under DRR with
+    a saturating hot tenant, divided by the same probe's uncontended p99)
+    is gated against an absolute ceiling (``--fairness-ceiling``): the
+    scheduler's fairness guarantee is that a hot tenant cannot push a cold
+    tenant's tail past 2x its uncontended tail. Same-run ratio, active
+    under ``--ratios-only``. The FIFO baseline ratio is recorded alongside
+    for contrast but not gated — FIFO is the A/B control, not the product.
+  * ``deadline_miss_frac`` (the SLO scenario's expired + late fraction of
+    deadline-carrying requests under DRR, with deadlines sized to be
+    comfortably meetable) is gated against an absolute ceiling
+    (``--deadline-miss-ceiling``). Same-run ratio, active under
+    ``--ratios-only`` — nonzero drift means deadline-aware dequeue rotted.
   * All other leaves (absolute microbench ms, request counts, sweep-point
     recalls, ...) are informational only.
 
@@ -126,6 +138,16 @@ def main():
                          "6.3x on a multi-core host, and single-core runners "
                          "floor at ~3.3-3.7x — the CPU ratio of programming "
                          "to serving — even with write-behind overlap)")
+    ap.add_argument("--fairness-ceiling", type=float, default=2.0,
+                    help="absolute ceiling for fairness_impact — cold-tenant "
+                         "p99 under DRR with a saturating hot tenant, as a "
+                         "multiple of its uncontended p99 (default 2.0: the "
+                         "scheduler's shipped fairness guarantee)")
+    ap.add_argument("--deadline-miss-ceiling", type=float, default=0.05,
+                    help="absolute ceiling for deadline_miss_frac — the "
+                         "expired + late fraction of deadline-carrying "
+                         "requests in the SLO scenario, whose deadlines are "
+                         "sized to be comfortably meetable (default 0.05)")
     ap.add_argument("--ratios-only", action="store_true",
                     help="gate only hardware-portable metrics (speedup ratios and "
                          "stage shares), skipping absolute *_rps leaves — use when "
@@ -162,6 +184,34 @@ def main():
             if value < floor:
                 failures.append(f"REGRESSED  {dotted}: recall {value:.4f} below "
                                 f"floor {floor:.2f}")
+        elif key == "fairness_impact":
+            # Absolute ceiling on a same-run ratio (cold-tenant p99 under DRR
+            # vs uncontended): hardware-portable, active under --ratios-only.
+            # Checked before the generic _impact rule — the guarantee is
+            # absolute (2x), not relative to whatever the baseline drifted to.
+            checked += 1
+            ceiling = args.fairness_ceiling
+            status = "ok" if value <= ceiling else "REGRESSED"
+            print(f"{status:>9}  {dotted}: {base:.3f} -> {value:.3f} "
+                  f"(ceiling {ceiling:.2f})")
+            if value > ceiling:
+                failures.append(f"REGRESSED  {dotted}: cold-tenant p99 under a "
+                                f"saturating hot tenant is {value:.2f}x its "
+                                f"uncontended p99 (ceiling {ceiling:.2f}x) — "
+                                "DRR fair queuing is not protecting cold tenants")
+        elif key == "deadline_miss_frac":
+            # Absolute ceiling on a same-run fraction: hardware-portable,
+            # active under --ratios-only.
+            checked += 1
+            ceiling = args.deadline_miss_ceiling
+            status = "ok" if value <= ceiling else "REGRESSED"
+            print(f"{status:>9}  {dotted}: {base:.4f} -> {value:.4f} "
+                  f"(ceiling {ceiling:.2f})")
+            if value > ceiling:
+                failures.append(f"REGRESSED  {dotted}: {value:.1%} of "
+                                f"comfortably-meetable deadlines missed "
+                                f"(ceiling {ceiling:.1%}) — deadline-aware "
+                                "dequeue is broken")
         elif key.endswith("_impact"):
             # Lower-is-better ratio (e.g. churn p95 / steady p95): gate the
             # growth. Ratios are hardware-portable, so this stays active
