@@ -4,7 +4,8 @@
 // batched encode pipeline (cross-user fused autoencoder GEMMs), a
 // retrieval-bound scenario comparing the fused slice kernel + parallel
 // per-shard fan-out against the PR 2 data path, a crossbar-kernel
-// microbench, and a microbench of batched vs per-query retrieval. Results
+// microbench, a fault-storm scrub/self-repair scenario, and a microbench
+// of batched vs per-query retrieval. Results
 // are also emitted as machine-readable BENCH_serve.json so the perf
 // trajectory accumulates across PRs (CI gates regressions against it).
 //
@@ -770,6 +771,206 @@ void bench_slo(FILE* json, std::size_t n_requests, std::size_t n_users) {
                fairness, miss_frac);
 }
 
+/// Fault-storm scenario (device-fault tolerance): the retrieval-bound
+/// workload served through an injected fault storm — multiplicative
+/// conductance drift across the whole fleet plus hard-stuck columns in the
+/// first tenant slot of every shard — then scrubbed and self-repaired.
+/// Three phases on one engine isolate retrieval quality: a pristine
+/// reference pass records every request's retrieved index, the faulted pass
+/// replays the same requests against the degraded store
+/// (faulted_recall_at1, gated floor 0.90 — serving degrades gracefully, it
+/// does not collapse), and a post-repair pass measures how much quality the
+/// scrub brings back (drift is re-programmed in place bit-identically;
+/// stuck columns are repaired by migrating their tenant to fresh columns).
+/// A separate A/B pair measures the serving-tail cost of repair itself:
+/// the same workload steady vs with the background scrubber aggressively
+/// probing + repairing the storm under live traffic. fault_impact =
+/// scrubbed p95 / steady p95 is a same-run ratio (hardware-portable,
+/// lower-is-better, gated like the churn impact ratio).
+void bench_faults(FILE* json, std::size_t n_requests, std::size_t n_users) {
+  WorkloadConfig wc;
+  wc.d_model = 16;
+  wc.code_dim = 24;
+  wc.n_virtual_tokens = 4;
+  wc.ae_hidden = 32;
+  wc.keys_per_user = 48;
+  wc.crossbar_rows = 384;  // the paper's subarray geometry
+  wc.crossbar_cols = 128;
+  wc.key_protos = 6;
+  Workload w(wc, n_users, n_requests);
+
+  const std::size_t shards = 4, threads = 4, batch = 16;
+  std::printf("\n-- fault-storm scenario (drift + stuck columns, scrub & self-repair, "
+              "B=%zu, %zu users, %zu requests, %zu shards) --\n",
+              batch, n_users, n_requests, shards);
+  std::fprintf(json,
+               "  \"faults\": {\"users\": %zu, \"requests\": %zu, \"shards\": %zu, "
+               "\"threads\": %zu, \"batch\": %zu,\n",
+               n_users, n_requests, shards, threads, batch);
+
+  serve::ServingConfig cfg = w.engine_config(shards, threads, batch);
+  cfg.min_batch = batch;
+  cfg.batch_window_ms = 50.0;
+  cfg.lifecycle.enabled = true;  // repair programs the mutable store
+
+  // Seeded storm: fleet-wide drift (every occupied column deviates from its
+  // pristine shadow) plus a few hard-stuck columns per shard. Columns
+  // 0..keys-1 of each shard belong to its first tenant whenever the shard
+  // has one, so the stuck injections always hit occupied columns.
+  const auto inject_storm = [&](serve::ShardedOvtStore& store) {
+    store.set_drift_rate(0.04);
+    store.advance_age(2);
+    const std::size_t stuck_cols[] = {1, 13, 29, 41};
+    for (std::size_t s = 0; s < store.n_shards(); ++s)
+      for (std::size_t i = 0; i < 4; ++i)
+        store.inject_column_fault(s, stuck_cols[i],
+                                  i % 2 == 0 ? nvm::FaultKind::StuckAtOff
+                                             : nvm::FaultKind::StuckAtOn,
+                                  /*n_cells=*/8, /*seed=*/911 + 31 * s + i);
+  };
+
+  const auto serve_waves = [&](serve::ServingEngine& engine, std::vector<std::size_t>* idx) {
+    if (idx != nullptr) idx->clear();
+    const double t0 = now_ms();
+    std::vector<std::future<serve::Response>> futures;
+    for (std::size_t start = 0; start < w.requests.size(); start += batch) {
+      const std::size_t stop = std::min(start + batch, w.requests.size());
+      futures.clear();
+      for (std::size_t i = start; i < stop; ++i)
+        futures.push_back(engine.submit(w.requests[i].first, w.requests[i].second));
+      for (auto& f : futures) {
+        const serve::Response r = f.get();
+        if (idx != nullptr) idx->push_back(r.ovt_index);
+      }
+    }
+    return 1000.0 * static_cast<double>(w.requests.size()) / (now_ms() - t0);
+  };
+
+  // Recall vs the pristine reference, optionally restricted to requests
+  // whose user is NOT in `exclude` (migrated tenants re-program with fresh
+  // noise streams, which legitimately re-ranks near-tie keys — their recall
+  // is reported separately from the bit-identical in-place repairs).
+  const auto recall_vs = [&](const std::vector<std::size_t>& got,
+                             const std::vector<std::size_t>& ref,
+                             const std::vector<std::size_t>* exclude) {
+    std::size_t matches = 0, counted = 0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (exclude != nullptr &&
+          std::find(exclude->begin(), exclude->end(), w.requests[i].first) != exclude->end())
+        continue;
+      ++counted;
+      if (got[i] == ref[i]) ++matches;
+    }
+    return counted == 0 ? 1.0 : static_cast<double>(matches) / static_cast<double>(counted);
+  };
+
+  // Phase pass: pristine reference -> storm -> faulted replay -> manual
+  // fleet scrub (repair in place + migrate stuck) -> repaired replay.
+  double faulted_recall = 0.0, recovered_recall = 0.0, repair_total_ms = 0.0;
+  bool verified_clean = false;
+  serve::ScrubOutcome storm_outcome;
+  serve::StatsSnapshot repair_stats;
+  {
+    serve::ServingEngine engine(w.model, w.task, cfg);
+    for (std::size_t u = 0; u < w.n_users; ++u)
+      engine.add_deployment(u, w.make_deployment(u));
+    engine.start();
+    std::vector<std::size_t> exact_idx, faulted_idx, repaired_idx;
+    (void)serve_waves(engine, &exact_idx);  // doubles as warmup
+    inject_storm(engine.store_mutable());
+    (void)serve_waves(engine, &faulted_idx);
+    faulted_recall = recall_vs(faulted_idx, exact_idx, nullptr);
+    const double t0 = now_ms();
+    storm_outcome = engine.scrub_now();
+    const serve::ScrubOutcome verify = engine.scrub_now();
+    repair_total_ms = now_ms() - t0;
+    verified_clean = verify.columns_degraded == 0;
+    (void)serve_waves(engine, &repaired_idx);
+    recovered_recall = recall_vs(repaired_idx, exact_idx, &storm_outcome.migrated_users);
+    repair_stats = engine.stats();
+    engine.stop();
+  }
+  std::printf("  storm: %zu columns degraded -> %zu repaired in place, %zu stuck "
+              "(%zu tenants migrated), verify pass %s\n",
+              storm_outcome.columns_degraded, storm_outcome.columns_repaired,
+              storm_outcome.columns_stuck, storm_outcome.migrated_users.size(),
+              verified_clean ? "clean" : "STILL DEGRADED");
+  std::printf("  recall@1 vs pristine: %.3f faulted -> %.3f after in-place repair "
+              "(migrated tenants excluded); repair total %.1f ms "
+              "(per-subarray p50 %.2f ms p95 %.2f ms)\n",
+              faulted_recall, recovered_recall, repair_total_ms,
+              repair_stats.repair_p50_ms, repair_stats.repair_p95_ms);
+
+  // Impact pass: steady serving vs serving while the background scrubber
+  // probes and repairs the same storm under live traffic. Best-of-two per
+  // side (first pass doubles as warmup), symmetric, keep the lower p95.
+  serve::ServingConfig scrub_cfg = cfg;
+  scrub_cfg.scrubber.enabled = true;
+  scrub_cfg.scrubber.interval_ms = 2.0;
+  scrub_cfg.scrubber.subarrays_per_round = 1;
+
+  double steady_rps = 0.0, scrub_rps = 0.0;
+  serve::StatsSnapshot steady, scrubbed;
+  for (int pass = 0; pass < 2; ++pass) {
+    {
+      serve::ServingEngine engine(w.model, w.task, cfg);
+      for (std::size_t u = 0; u < w.n_users; ++u)
+        engine.add_deployment(u, w.make_deployment(u));
+      engine.start();
+      const double rps = serve_waves(engine, nullptr);
+      const serve::StatsSnapshot s = engine.stats();
+      engine.stop();
+      if (pass == 0 || s.p95_latency_ms < steady.p95_latency_ms) {
+        steady = s;
+        steady_rps = rps;
+      }
+    }
+    {
+      serve::ServingEngine engine(w.model, w.task, scrub_cfg);
+      for (std::size_t u = 0; u < w.n_users; ++u)
+        engine.add_deployment(u, w.make_deployment(u));
+      engine.start();
+      inject_storm(engine.store_mutable());
+      const double rps = serve_waves(engine, nullptr);
+      const serve::StatsSnapshot s = engine.stats();
+      engine.stop();
+      if (pass == 0 || s.p95_latency_ms < scrubbed.p95_latency_ms) {
+        scrubbed = s;
+        scrub_rps = rps;
+      }
+    }
+  }
+  const double impact =
+      steady.p95_latency_ms > 0.0 ? scrubbed.p95_latency_ms / steady.p95_latency_ms : 1.0;
+  std::printf("  %-10s %10.0f req/s   p50 %7.2f ms   p95 %7.2f ms\n", "steady", steady_rps,
+              steady.p50_latency_ms, steady.p95_latency_ms);
+  std::printf("  %-10s %10.0f req/s   p50 %7.2f ms   p95 %7.2f ms   (p95 impact %.2fx)\n",
+              "scrubbing", scrub_rps, scrubbed.p50_latency_ms, scrubbed.p95_latency_ms,
+              impact);
+  std::printf("  background scrub: %zu passes, %zu columns probed, %zu repaired, "
+              "%zu stuck, %zu degraded responses flagged\n",
+              scrubbed.scrub_passes, scrubbed.scrub_columns_probed, scrubbed.columns_repaired,
+              scrubbed.columns_stuck, scrubbed.degraded_responses);
+
+  std::fprintf(json, "    \"faulted_recall_at1\": %.4f, \"recovered_recall_at1\": %.4f,\n",
+               faulted_recall, recovered_recall);
+  std::fprintf(json,
+               "    \"columns_degraded\": %zu, \"columns_repaired\": %zu, "
+               "\"columns_stuck\": %zu, \"tenants_migrated\": %zu,\n",
+               storm_outcome.columns_degraded, storm_outcome.columns_repaired,
+               storm_outcome.columns_stuck, storm_outcome.migrated_users.size());
+  std::fprintf(json,
+               "    \"repair_total_ms\": %.2f, \"repair_p50_ms\": %.3f, "
+               "\"repair_p95_ms\": %.3f,\n",
+               repair_total_ms, repair_stats.repair_p50_ms, repair_stats.repair_p95_ms);
+  std::fprintf(json, "    \"steady_rps\": %.0f, \"scrub_rps\": %.0f,\n", steady_rps, scrub_rps);
+  std::fprintf(json, "    \"steady_p95_ms\": %.3f, \"scrub_p95_ms\": %.3f,\n",
+               steady.p95_latency_ms, scrubbed.p95_latency_ms);
+  std::fprintf(json, "    \"scrub_passes\": %zu, \"degraded_responses\": %zu,\n",
+               scrubbed.scrub_passes, scrubbed.degraded_responses);
+  std::fprintf(json, "    \"fault_impact\": %.3f\n  },\n", impact);
+}
+
 double run_engine(Workload& w, std::size_t shards, std::size_t threads, std::size_t batch,
                   serve::StatsSnapshot* out_stats) {
   return run_engine_cfg(w, w.engine_config(shards, threads, batch), out_stats);
@@ -1046,6 +1247,7 @@ int main() {
   bench_churn(json, n_requests, n_users);
   bench_obs(json, n_requests, n_users);
   bench_slo(json, n_requests, n_users);
+  bench_faults(json, n_requests, n_users);
   bench_encode_bound(json, n_requests, n_users);
 
   Workload w(WorkloadConfig{}, n_users, n_requests);

@@ -101,6 +101,32 @@ class Accelerator {
   const CrossbarConfig& config() const { return cfg_; }
   const nvm::VariationModel& variation() const { return var_; }
 
+  // -- Device-fault model ---------------------------------------------------
+  // Faults are addressed at the column-tile subarray granularity — the unit
+  // a physical array fails at. A global key column spans one column tile
+  // across every row tile; injection and probing visit all its segments.
+
+  /// Column-tile subarrays (the fault/scrub/quarantine addressing unit).
+  std::size_t n_subarrays() const { return col_tiles_; }
+  std::size_t cols_per_subarray() const { return cfg_.cols; }
+
+  /// Pin `cells_per_segment` observable cells per (row tile, column)
+  /// segment of global key column `col`. Returns total cells clamped.
+  std::size_t inject_column_fault(std::size_t col, nvm::FaultKind kind,
+                                  std::size_t cells_per_segment, std::uint64_t seed);
+
+  /// Kill every row tile of column-tile subarray `subarray`: all its key
+  /// columns stick at zero conductance and ignore further programming.
+  void kill_subarray(std::size_t subarray);
+  bool subarray_killed(std::size_t subarray) const;
+
+  /// Retention drift across the whole bank (see Crossbar::advance_age).
+  void set_drift_rate(double rate_per_tick);
+  void advance_age(std::uint64_t ticks);
+
+  /// Golden probe of global key column `col`, aggregated over row tiles.
+  ColumnProbe probe_column(std::size_t col, double eps = 1e-6) const;
+
  private:
   /// Dequantize the integer-scale score block into `y`: one global scale in
   /// immutable mode, per-column scales (0 for unprogrammed columns) in

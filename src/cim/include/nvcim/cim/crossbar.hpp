@@ -2,10 +2,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "nvcim/cim/candidates.hpp"
+#include "nvcim/cim/faults.hpp"
 #include "nvcim/nvm/device.hpp"
+#include "nvcim/nvm/faults.hpp"
 #include "nvcim/tensor/matrix.hpp"
 
 namespace nvcim::cim {
@@ -185,7 +188,49 @@ class Crossbar {
   const OpCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
 
+  // -- Device-fault model ---------------------------------------------------
+  // Every programmed cell keeps a `pristine` shadow: the analog level it
+  // would hold absent faults (the golden reference of the scrub probes).
+  // Stuck cells are clamped to an extreme level and stay clamped across
+  // re-programming — a write pulse cannot move a stuck cell — while drift
+  // multiplies live cells away from their pristine levels until the next
+  // refresh write. A full re-init (init_blank / program) models swapping in
+  // a fresh array and clears all faults.
+
+  /// Pin `n_cells` cells of column `col` at the stuck level, chosen
+  /// deterministically from `seed` among cells whose fault-free level
+  /// differs from the stuck level (so every injected fault is observable).
+  /// Returns the number of cells actually clamped (may be < n_cells when
+  /// the column has too few observable candidates).
+  std::size_t inject_column_fault(std::size_t col, nvm::FaultKind kind,
+                                  std::size_t n_cells, std::uint64_t seed);
+
+  /// Whole-subarray kill switch: every cell sticks at zero conductance and
+  /// no longer responds to programming.
+  void kill();
+  bool killed() const { return killed_; }
+  std::size_t n_stuck_cells() const { return stuck_.size(); }
+
+  /// Retention drift: advance the array's age by `ticks`, decaying every
+  /// live (non-stuck, nonzero) cell by drift_factor(rate, ticks). Pristine
+  /// levels are untouched, so probes see the decay; re-programming a cell
+  /// refreshes it.
+  void set_drift_rate(double rate_per_tick) { drift_rate_ = rate_per_tick; }
+  double drift_rate() const { return drift_rate_; }
+  void advance_age(std::uint64_t ticks);
+  std::uint64_t age() const { return age_; }
+
+  /// Golden probe of one column: compare each analog cell against its
+  /// pristine level. Fault-free columns probe clean exactly (programming
+  /// noise is frozen at write time and recorded in the shadow), so any
+  /// deviation is a fault or drift — detection has no false positives.
+  ColumnProbe probe_column(std::size_t col, double eps = 1e-6) const;
+
  private:
+  /// Pin one flat cell index at `level`, keeping slice-zero flags and the
+  /// reference-kernel planes consistent with the clamped value.
+  void clamp_cell(std::size_t idx, float level);
+
   double adc_quantize(double analog, double full_scale) const;
 
   /// Program every slice (both polarities) of cell (r, c) with value `v`,
@@ -219,6 +264,15 @@ class Crossbar {
   std::size_t active_rows_ = 0;
   std::size_t active_cols_ = 0;
   OpCounters counters_;
+  /// Fault-free shadow of cells_ (same indexing): what each cell would hold
+  /// absent stuck faults and drift. The scrub probes' golden reference.
+  std::vector<float> pristine_;
+  /// Stuck cells: flat cells_ index → pinned analog level. Overrides every
+  /// subsequent write of that cell.
+  std::unordered_map<std::size_t, float> stuck_;
+  double drift_rate_ = 0.0;
+  std::uint64_t age_ = 0;
+  bool killed_ = false;
   // Reusable kernel scratch (per-query ADC full scale and LSB, plus the
   // per-(query, column-block) candidate flags of a masked pass); members so
   // steady-state batches allocate nothing. The crossbar is externally

@@ -260,6 +260,48 @@ Matrix Accelerator::query_ideal(const Matrix& x) const {
   return matmul_nt(x, keys_ref_);
 }
 
+std::size_t Accelerator::inject_column_fault(std::size_t col, nvm::FaultKind kind,
+                                             std::size_t cells_per_segment,
+                                             std::uint64_t seed) {
+  NVCIM_CHECK_MSG(!tiles_.empty(), "no keys stored");
+  NVCIM_CHECK_MSG(col < n_keys_, "column " << col << " out of range");
+  const std::size_t ct = col / cfg_.cols;
+  std::size_t clamped = 0;
+  for (std::size_t rt = 0; rt < row_tiles_; ++rt)
+    clamped += tiles_[rt * col_tiles_ + ct].inject_column_fault(
+        col % cfg_.cols, kind, cells_per_segment, seed ^ (rt * 0x9E3779B97F4A7C15ull));
+  return clamped;
+}
+
+void Accelerator::kill_subarray(std::size_t subarray) {
+  NVCIM_CHECK_MSG(subarray < col_tiles_, "subarray " << subarray << " out of range");
+  for (std::size_t rt = 0; rt < row_tiles_; ++rt)
+    tiles_[rt * col_tiles_ + subarray].kill();
+}
+
+bool Accelerator::subarray_killed(std::size_t subarray) const {
+  NVCIM_CHECK_MSG(subarray < col_tiles_, "subarray " << subarray << " out of range");
+  return tiles_[subarray].killed();
+}
+
+void Accelerator::set_drift_rate(double rate_per_tick) {
+  for (Crossbar& t : tiles_) t.set_drift_rate(rate_per_tick);
+}
+
+void Accelerator::advance_age(std::uint64_t ticks) {
+  for (Crossbar& t : tiles_) t.advance_age(ticks);
+}
+
+ColumnProbe Accelerator::probe_column(std::size_t col, double eps) const {
+  NVCIM_CHECK_MSG(!tiles_.empty(), "no keys stored");
+  NVCIM_CHECK_MSG(col < n_keys_, "column " << col << " out of range");
+  const std::size_t ct = col / cfg_.cols;
+  ColumnProbe pr;
+  for (std::size_t rt = 0; rt < row_tiles_; ++rt)
+    pr += tiles_[rt * col_tiles_ + ct].probe_column(col % cfg_.cols, eps);
+  return pr;
+}
+
 OpCounters Accelerator::counters() const {
   OpCounters c;
   for (const Crossbar& t : tiles_) c += t.counters();

@@ -33,9 +33,25 @@ void Crossbar::program_cell_slices(std::size_t r, std::size_t c, long v,
       counters_.write_pulses += 1;
       return nvm::program_cell(normalized, var, rng) * denorm;
     };
-    float* cell = cells_.data() + s * slice_stride() + r * row_stride() + c * pitch();
+    const std::size_t idx = s * slice_stride() + r * row_stride() + c * pitch();
+    float* cell = cells_.data() + idx;
     cell[0] = static_cast<float>(program_one(pn));
-    if (cfg_.differential) cell[1] = static_cast<float>(program_one(nn));
+    pristine_[idx] = cell[0];
+    if (cfg_.differential) {
+      cell[1] = static_cast<float>(program_one(nn));
+      pristine_[idx + 1] = cell[1];
+    }
+    if (!stuck_.empty()) {
+      // Stuck cells ignore the write pulse: the fresh level lands in the
+      // pristine shadow (what the cell SHOULD hold) but the analog cell
+      // stays pinned — which is exactly what a scrub probe then sees.
+      auto it = stuck_.find(idx);
+      if (it != stuck_.end()) cell[0] = it->second;
+      if (cfg_.differential) {
+        it = stuck_.find(idx + 1);
+        if (it != stuck_.end()) cell[1] = it->second;
+      }
+    }
     if (cell[0] != 0.0f || (cfg_.differential && cell[1] != 0.0f)) slice_zero_[s] = 0;
     if (cfg_.reference_kernel) {
       pos_planes_[s](r, c) = cell[0];
@@ -87,6 +103,12 @@ void Crossbar::init_blank(std::size_t active_rows, std::size_t active_cols) {
   // program_cell_slices clears a slice's flag the moment a nonzero analog
   // level lands in it — monotonic, so the flag is only ever conservative.
   slice_zero_.assign(S, 1);
+  // Re-initializing the region models swapping in a fresh physical array:
+  // the pristine shadow resets with the cells and accumulated faults clear.
+  pristine_.assign(S * slice_stride(), 0.0f);
+  stuck_.clear();
+  killed_ = false;
+  age_ = 0;
   reference_ = Matrix(active_rows_, active_cols_, 0.0f);
   if (cfg_.reference_kernel) {
     pos_planes_.assign(S, Matrix(active_rows_, active_cols_, 0.0f));
@@ -158,6 +180,111 @@ void Crossbar::program_columns(const Matrix& int_values, std::size_t col_begin,
       program_cell_slices(r, col, v, var, rng, opts, verify);
     }
   }
+}
+
+void Crossbar::clamp_cell(std::size_t idx, float level) {
+  stuck_[idx] = level;
+  cells_[idx] = level;
+  const std::size_t s = idx / slice_stride();
+  // A nonzero clamp makes the plane non-elidable; a zero clamp leaves the
+  // (conservative) flag alone — the cell really does read zero.
+  if (level != 0.0f) slice_zero_[s] = 0;
+  if (cfg_.reference_kernel) {
+    const std::size_t rem = idx % slice_stride();
+    const std::size_t r = rem / row_stride();
+    const std::size_t cp = rem % row_stride();
+    const std::size_t c = cp / pitch();
+    if (cfg_.differential && cp % pitch() == 1)
+      neg_planes_[s](r, c) = level;
+    else
+      pos_planes_[s](r, c) = level;
+  }
+}
+
+std::size_t Crossbar::inject_column_fault(std::size_t col, nvm::FaultKind kind,
+                                          std::size_t n_cells, std::uint64_t seed) {
+  NVCIM_CHECK_MSG(active_rows_ > 0, "crossbar region not initialized");
+  NVCIM_CHECK_MSG(col < active_cols_, "column " << col << " out of range");
+  if (n_cells == 0) return 0;
+  const float level = static_cast<float>(nvm::stuck_level(kind, cfg_.levels()));
+  // Candidates: cells of the column whose fault-free level differs from the
+  // stuck level — pinning one of those is guaranteed observable.
+  std::vector<std::size_t> cand;
+  const std::size_t S = cfg_.n_slices();
+  const std::size_t P = pitch();
+  for (std::size_t s = 0; s < S; ++s) {
+    for (std::size_t r = 0; r < active_rows_; ++r) {
+      const std::size_t base = s * slice_stride() + r * row_stride() + col * P;
+      for (std::size_t p = 0; p < P; ++p) {
+        const std::size_t idx = base + p;
+        if (stuck_.find(idx) == stuck_.end() &&
+            std::fabs(pristine_[idx] - level) > 1e-6f)
+          cand.push_back(idx);
+      }
+    }
+  }
+  if (cand.empty()) return 0;
+  Rng rng(seed);
+  const std::size_t k = std::min(n_cells, cand.size());
+  for (const std::size_t pick : rng.sample_without_replacement(cand.size(), k))
+    clamp_cell(cand[pick], level);
+  return k;
+}
+
+void Crossbar::kill() {
+  NVCIM_CHECK_MSG(active_rows_ > 0, "crossbar region not initialized");
+  killed_ = true;
+  for (std::size_t idx = 0; idx < cells_.size(); ++idx) clamp_cell(idx, 0.0f);
+}
+
+void Crossbar::advance_age(std::uint64_t ticks) {
+  NVCIM_CHECK_MSG(active_rows_ > 0, "crossbar region not initialized");
+  age_ += ticks;
+  const double f = nvm::drift_factor(drift_rate_, ticks);
+  if (f == 1.0) return;
+  const std::size_t S = cfg_.n_slices();
+  const std::size_t P = pitch();
+  for (std::size_t s = 0; s < S; ++s) {
+    if (slice_zero_[s]) continue;  // all-zero plane: nothing to decay
+    for (std::size_t r = 0; r < active_rows_; ++r) {
+      for (std::size_t c = 0; c < active_cols_; ++c) {
+        const std::size_t base = s * slice_stride() + r * row_stride() + c * P;
+        for (std::size_t p = 0; p < P; ++p) {
+          const std::size_t idx = base + p;
+          if (cells_[idx] == 0.0f) continue;  // zero decays to zero
+          if (!stuck_.empty() && stuck_.find(idx) != stuck_.end()) continue;
+          cells_[idx] = static_cast<float>(static_cast<double>(cells_[idx]) * f);
+          if (cfg_.reference_kernel) {
+            if (cfg_.differential && p == 1)
+              neg_planes_[s](r, c) = cells_[idx];
+            else
+              pos_planes_[s](r, c) = cells_[idx];
+          }
+        }
+      }
+    }
+  }
+}
+
+ColumnProbe Crossbar::probe_column(std::size_t col, double eps) const {
+  NVCIM_CHECK_MSG(active_rows_ > 0, "crossbar region not initialized");
+  NVCIM_CHECK_MSG(col < active_cols_, "column " << col << " out of range");
+  ColumnProbe pr;
+  const std::size_t S = cfg_.n_slices();
+  const std::size_t P = pitch();
+  for (std::size_t s = 0; s < S; ++s) {
+    for (std::size_t r = 0; r < active_rows_; ++r) {
+      const std::size_t base = s * slice_stride() + r * row_stride() + col * P;
+      for (std::size_t p = 0; p < P; ++p) {
+        const double dev = std::fabs(static_cast<double>(cells_[base + p]) -
+                                     static_cast<double>(pristine_[base + p]));
+        ++pr.cells;
+        if (dev > eps) ++pr.deviant;
+        if (dev > pr.max_deviation) pr.max_deviation = dev;
+      }
+    }
+  }
+  return pr;
 }
 
 Matrix Crossbar::read_values() const {

@@ -1,0 +1,37 @@
+#include "nvcim/cim/faults.hpp"
+
+#include "nvcim/common/check.hpp"
+#include "nvcim/common/rng.hpp"
+
+namespace nvcim::cim {
+
+std::vector<ColumnFault> generate_fault_storm(const FaultStormConfig& cfg,
+                                              std::size_t n_subarrays,
+                                              std::size_t n_columns) {
+  NVCIM_CHECK_MSG(n_subarrays > 0 && n_columns > 0, "empty fault-storm geometry");
+  NVCIM_CHECK_MSG(cfg.column_frac >= 0.0 && cfg.column_frac <= 1.0,
+                  "column_frac must be in [0, 1]");
+  const std::size_t total = n_subarrays * n_columns;
+  const std::size_t n_faults =
+      static_cast<std::size_t>(cfg.column_frac * static_cast<double>(total));
+  std::vector<ColumnFault> storm;
+  if (n_faults == 0) return storm;
+
+  Rng rng(cfg.seed);
+  // Distinct flat positions, then kind draws in position order — both from
+  // the one seeded stream, so the storm is a pure function of (cfg, grid).
+  const std::vector<std::size_t> picks = rng.sample_without_replacement(total, n_faults);
+  storm.reserve(n_faults);
+  for (const std::size_t flat : picks) {
+    ColumnFault f;
+    f.subarray = flat / n_columns;
+    f.column = flat % n_columns;
+    f.kind = rng.uniform() < cfg.stuck_on_frac ? nvm::FaultKind::StuckAtOn
+                                               : nvm::FaultKind::StuckAtOff;
+    f.n_cells = cfg.cells_per_column;
+    storm.push_back(f);
+  }
+  return storm;
+}
+
+}  // namespace nvcim::cim

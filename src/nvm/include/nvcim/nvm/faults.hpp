@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace nvcim::nvm {
+
+/// Hard device faults a cell can develop after programming. A stuck cell no
+/// longer responds to write pulses: its analog level is pinned at an extreme
+/// of the conductance range regardless of what is programmed into it.
+enum class FaultKind : std::uint8_t {
+  StuckAtOn,   ///< cell pinned at the highest conductance level
+  StuckAtOff,  ///< cell pinned at zero conductance
+};
+
+/// Analog level a stuck cell reads back, on the same axis the crossbar
+/// stores cells (conductance × (levels − 1), i.e. [0, levels − 1]).
+inline double stuck_level(FaultKind kind, std::size_t levels) {
+  return kind == FaultKind::StuckAtOn ? static_cast<double>(levels - 1) : 0.0;
+}
+
+/// Multiplicative conductance decay after `ticks` age steps at `rate` loss
+/// per tick (rate in [0, 1)). Retention drift compounds geometrically:
+/// factor = (1 − rate)^ticks. Re-programming a cell refreshes it — drift
+/// applies only to the time since the last write.
+inline double drift_factor(double rate, std::uint64_t ticks) {
+  if (rate <= 0.0 || ticks == 0) return 1.0;
+  return std::pow(1.0 - rate, static_cast<double>(ticks));
+}
+
+}  // namespace nvcim::nvm

@@ -108,6 +108,31 @@ class CimRetriever {
   std::size_t n_keys() const { return n_keys_; }
   cim::OpCounters counters() const;
 
+  // -- Device-fault model ---------------------------------------------------
+  // Every scale bank shares the same column-tile geometry (identical
+  // capacity and crossbar config), so subarray and column indices address
+  // all banks at once: a fault hits a key column in every bank holding a
+  // pooled copy of it, and a probe aggregates deviations across banks.
+
+  /// Column-tile subarrays per bank (the scrub/quarantine addressing unit).
+  std::size_t n_subarrays() const;
+  std::size_t cols_per_subarray() const;
+
+  /// Pin stuck cells in key column `col` of every scale bank. Returns total
+  /// cells clamped across banks.
+  std::size_t inject_column_fault(std::size_t col, nvm::FaultKind kind,
+                                  std::size_t cells_per_segment, std::uint64_t seed);
+
+  /// Kill subarray `subarray` in every scale bank.
+  void kill_subarray(std::size_t subarray);
+
+  /// Retention drift across every bank (see Crossbar::advance_age).
+  void set_drift_rate(double rate_per_tick);
+  void advance_age(std::uint64_t ticks);
+
+  /// Golden probe of key column `col`, aggregated over scale banks.
+  cim::ColumnProbe probe_column(std::size_t col, double eps = 1e-6) const;
+
  private:
   void init_bank_layout();
 

@@ -210,4 +210,45 @@ cim::OpCounters CimRetriever::counters() const {
   return c;
 }
 
+std::size_t CimRetriever::n_subarrays() const {
+  NVCIM_CHECK_MSG(!banks_.empty(), "no keys stored");
+  return banks_[0]->n_subarrays();
+}
+
+std::size_t CimRetriever::cols_per_subarray() const {
+  NVCIM_CHECK_MSG(!banks_.empty(), "no keys stored");
+  return banks_[0]->cols_per_subarray();
+}
+
+std::size_t CimRetriever::inject_column_fault(std::size_t col, nvm::FaultKind kind,
+                                              std::size_t cells_per_segment,
+                                              std::uint64_t seed) {
+  NVCIM_CHECK_MSG(!banks_.empty(), "no keys stored");
+  std::size_t clamped = 0;
+  for (std::size_t b = 0; b < banks_.size(); ++b)
+    clamped += banks_[b]->inject_column_fault(col, kind, cells_per_segment,
+                                              seed + 0xFA011ull * (b + 1));
+  return clamped;
+}
+
+void CimRetriever::kill_subarray(std::size_t subarray) {
+  NVCIM_CHECK_MSG(!banks_.empty(), "no keys stored");
+  for (auto& b : banks_) b->kill_subarray(subarray);
+}
+
+void CimRetriever::set_drift_rate(double rate_per_tick) {
+  for (auto& b : banks_) b->set_drift_rate(rate_per_tick);
+}
+
+void CimRetriever::advance_age(std::uint64_t ticks) {
+  for (auto& b : banks_) b->advance_age(ticks);
+}
+
+cim::ColumnProbe CimRetriever::probe_column(std::size_t col, double eps) const {
+  NVCIM_CHECK_MSG(!banks_.empty(), "no keys stored");
+  cim::ColumnProbe pr;
+  for (const auto& b : banks_) pr += b->probe_column(col, eps);
+  return pr;
+}
+
 }  // namespace nvcim::retrieval

@@ -24,6 +24,24 @@
 
 namespace nvcim::serve {
 
+/// Background device scrubber: a ticker thread periodically enqueues
+/// scrub-and-repair rounds as worker-pool aux tasks (the same machinery
+/// write-behind programming rides on), walking the store's subarrays in
+/// round-robin order. Each round probes columns against their pristine
+/// programming levels, reprograms degraded columns in place, migrates
+/// tenants off columns that stay deviant after reprogramming (stuck cells)
+/// and quarantines subarrays that accumulate too many stuck columns — see
+/// ShardedOvtStore::scrub_and_repair. Requires LifecycleConfig::enabled
+/// (repair needs the mutable store).
+struct ScrubberConfig {
+  bool enabled = false;
+  double interval_ms = 20.0;  ///< ticker period between scrub rounds
+  /// Subarrays probed per round, across all shards (0 = the whole fleet
+  /// every round). Small values bound the serving interference per round.
+  std::size_t subarrays_per_round = 1;
+  ScrubPolicy policy;  ///< detection threshold, repair/migrate toggles
+};
+
 struct ServingConfig {
   std::size_t n_shards = 2;
   std::size_t n_threads = 2;
@@ -59,6 +77,9 @@ struct ServingConfig {
   /// serving, over an epoch-versioned mutable store. Off by default — the
   /// build-once PR 4 store.
   LifecycleConfig lifecycle;
+  /// Background fault scrubbing and self-repair while serving. Off by
+  /// default; requires `lifecycle.enabled`.
+  ScrubberConfig scrubber;
   /// Span tracing (off by default): request/batch/stage/shard/lifecycle
   /// spans into per-thread ring buffers, exportable as Chrome trace_event
   /// JSON via tracer().write_chrome_trace_file().
@@ -264,6 +285,13 @@ class ServingEngine {
   /// user still complete against their pinned epoch; new submits throw.
   void evict_user(std::size_t user_id);
 
+  /// One synchronous scrub-and-repair pass over EVERY subarray of every
+  /// shard, on the calling thread (tests and benches; the background ticker
+  /// runs the same code incrementally). Aggregates the per-subarray
+  /// outcomes; counts and repair wall-clock land in EngineStats. Requires
+  /// LifecycleConfig::enabled; callable whether or not the ticker runs.
+  ScrubOutcome scrub_now();
+
   /// One rebalance cycle: plan migrations from overloaded to underloaded
   /// shards and execute them as aux tasks on the worker pool (workers
   /// interleave them with serving batches — no quiesce). Blocks until the
@@ -280,6 +308,10 @@ class ServingEngine {
 
   std::size_t n_users() const;
   const ShardedOvtStore& store() const { return store_; }
+  /// Mutable store access for fault injection (tests, benches, chaos
+  /// drills). The store's fault APIs take their own locks — callable while
+  /// serving.
+  ShardedOvtStore& store_mutable() { return store_; }
   const core::TrainedDeployment& deployment(std::size_t user_id) const;
   StatsSnapshot stats() const { return stats_.snapshot(); }
   /// The engine's span tracer (enabled via ServingConfig::tracing). Export
@@ -362,6 +394,13 @@ class ServingEngine {
   };
 
   void worker_loop();
+  /// Ticker behind ScrubberConfig: wakes every interval_ms and enqueues one
+  /// scrub round as an aux task (skipped while the previous round is still
+  /// in flight — scrubbing never queues up behind itself).
+  void scrubber_loop();
+  /// Scrub-and-repair the next `budget` subarrays in round-robin order
+  /// across all shards (0 = all of them), recording stats and spans.
+  ScrubOutcome scrub_round(std::size_t budget);
   void process_batch(std::vector<QueuedRequest>&& batch, WorkerState& ws);
   /// Settle one request's future, then fire its on_complete (exactly once,
   /// in that order; callback exceptions are swallowed). The single funnel
@@ -432,6 +471,16 @@ class ServingEngine {
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
   bool stopping_ = false;  ///< guarded by queue_mu_
+
+  // Background scrubber state (ScrubberConfig; thread joined by stop()).
+  std::thread scrubber_;
+  std::mutex scrub_mu_;               ///< guards scrub_stop_ / scrub_cursor_
+  std::condition_variable scrub_cv_;  ///< wakes the ticker for shutdown
+  bool scrub_stop_ = false;
+  std::size_t scrub_cursor_ = 0;  ///< round-robin (shard, subarray) position
+  /// A scrub round is queued or running — the ticker skips its tick instead
+  /// of stacking rounds behind a slow repair.
+  std::atomic<bool> scrub_inflight_{false};
 
   mutable std::mutex admissions_mu_;       ///< guards admissions_
   std::condition_variable admissions_cv_;  ///< admit_user() backpressure waiters

@@ -211,9 +211,20 @@ class SlotAllocator {
   /// pinned before `freed_epoch` drains.
   void release(std::size_t begin, std::size_t end, std::uint64_t freed_epoch);
 
+  /// Permanently remove [begin, end) from the allocatable space (a failed
+  /// subarray's columns). The quarantined intersection of the free list is
+  /// dropped, later release()s of overlapping slots drop their quarantined
+  /// part, and tail growth never re-enters the range (any clean run in
+  /// front of a range straddling the tail stays allocatable free space).
+  /// Quarantined columns count as neither occupied nor free.
+  void quarantine(std::size_t begin, std::size_t end);
+  /// True when [begin, end) intersects a quarantined range.
+  bool is_quarantined(std::size_t begin, std::size_t end) const;
+
   std::size_t occupied() const { return occupied_; }  ///< allocated key columns
   std::size_t tail() const { return tail_; }          ///< high-water column
   std::size_t free_ranges() const { return free_.size(); }
+  std::size_t quarantined() const { return quarantined_cols_; }
 
  private:
   struct FreeRange {
@@ -221,9 +232,16 @@ class SlotAllocator {
     std::size_t end = 0;
     std::uint64_t freed_epoch = 0;
   };
+  /// Insert one clean (non-quarantined) range into the free list, keeping
+  /// it sorted and coalescing with neighbours.
+  void insert_free(std::size_t begin, std::size_t end, std::uint64_t freed_epoch);
+
   std::vector<FreeRange> free_;  ///< sorted by begin, non-overlapping
+  /// Quarantined column ranges, sorted by begin, disjoint.
+  std::vector<std::pair<std::size_t, std::size_t>> quarantine_;
   std::size_t tail_ = 0;
   std::size_t occupied_ = 0;
+  std::size_t quarantined_cols_ = 0;
 };
 
 /// One planned user migration (executed by ShardedOvtStore::migrate_user).

@@ -4,9 +4,11 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "nvcim/cim/faults.hpp"
 #include "nvcim/cluster/kmeans.hpp"
 #include "nvcim/retrieval/search.hpp"
 #include "nvcim/serve/lifecycle.hpp"
@@ -39,6 +41,52 @@ struct TwoPhaseConfig {
   /// Every Nth routed shard pass also runs the unmasked exact scoring and
   /// records recall-vs-exact into EngineStats. 0 disables sampling.
   std::size_t recall_sample_every = 16;
+};
+
+/// Health of one crossbar subarray as judged by the scrubber.
+///   Healthy  — every probed column matched its pristine programming.
+///   Degraded — at least one column deviates (stuck cells or drift); repair
+///              is pending or in flight, serving continues from the slot.
+///   Failed   — the subarray is quarantined out of placement (too many
+///              unrepairable columns, or killed outright).
+enum class SubarrayHealth : std::uint8_t { Healthy, Degraded, Failed };
+
+/// Detection/repair policy of one scrub pass.
+struct ScrubPolicy {
+  /// Per-cell deviation (analog level units) above which a cell counts as
+  /// deviant from its pristine programming. Programming noise is frozen at
+  /// write time and recorded in the pristine shadow, so fault-free columns
+  /// probe exactly clean — the eps only absorbs float round-off.
+  double cell_eps = 1e-6;
+  /// A column is degraded when its deviant-cell fraction exceeds this
+  /// (0 = any deviant cell degrades the column).
+  double column_deviant_frac = 0.0;
+  /// Re-program degraded columns in place from the tenants' retained keys.
+  bool auto_repair = true;
+  /// Migrate tenants off columns that fail the in-place rewrite (stuck
+  /// hardware) to the least-loaded other shard.
+  bool auto_migrate = true;
+  /// Quarantine the subarray once this many of its columns are
+  /// unrepairable (stuck or unowned-deviant after a repair pass).
+  std::size_t quarantine_after = 8;
+};
+
+/// Result of a detect-only scrub pass over one subarray.
+struct ScrubReport {
+  std::size_t columns_probed = 0;
+  std::vector<std::size_t> degraded;  ///< shard-local degraded column indices
+  SubarrayHealth health = SubarrayHealth::Healthy;
+};
+
+/// Result of a full scrub-and-repair pass over one subarray.
+struct ScrubOutcome {
+  std::size_t columns_probed = 0;
+  std::size_t columns_degraded = 0;  ///< detected deviant this pass
+  std::size_t columns_repaired = 0;  ///< in-place rewrite restored them
+  std::size_t columns_stuck = 0;     ///< still deviant after the rewrite
+  std::vector<std::size_t> migrated_users;  ///< moved off stuck columns
+  bool quarantined = false;  ///< subarray crossed the failure threshold
+  SubarrayHealth health = SubarrayHealth::Healthy;
 };
 
 struct OvtStoreConfig {
@@ -281,6 +329,66 @@ class ShardedOvtStore {
   /// Total crossbar op counters across all shards.
   cim::OpCounters counters() const;
 
+  // ---- Device-fault tolerance (requires LifecycleConfig::enabled) ----
+  //
+  // The fault unit is the column-tile subarray: `sub` indexes the shard's
+  // column tiles, each cols_per_subarray() key columns wide. Detection
+  // compares every cell of a column against the pristine shadow recorded at
+  // program time (Crossbar::probe_column) — zero false positives, 100%
+  // detection of any fault that changed a cell. Repair re-programs degraded
+  // columns in place from the tenants' retained keys (slot-deterministic
+  // noise streams make the rewrite bit-identical to the original content);
+  // columns that stay deviant after the rewrite are stuck hardware, and
+  // their tenants migrate to a healthy shard. A subarray accumulating
+  // unrepairable columns past the policy threshold is quarantined: its
+  // columns leave the placement pool permanently.
+
+  std::size_t cols_per_subarray() const { return cfg_.crossbar.cols; }
+  /// Column-tile subarrays currently provisioned on `shard` (0 if empty).
+  std::size_t shard_subarrays(std::size_t shard) const;
+
+  /// Inject a stuck-at fault into `n_cells` cells per (row tile, bank)
+  /// segment of shard column `col`. Returns total cells clamped.
+  std::size_t inject_column_fault(std::size_t shard, std::size_t col, nvm::FaultKind kind,
+                                  std::size_t n_cells, std::uint64_t seed);
+  /// Kill subarray `sub` of `shard` (all cells stick at zero conductance).
+  void kill_subarray(std::size_t shard, std::size_t sub);
+  /// Retention drift across every shard's crossbars.
+  void set_drift_rate(double rate_per_tick);
+  void advance_age(std::uint64_t ticks);
+
+  /// Detect-only scrub: probe every column of subarray `sub` of `shard`
+  /// against its pristine programming, publish the subarray's health state
+  /// and the per-shard degraded-column set. Takes the shard lock for the
+  /// probes only — serving on other shards is untouched.
+  ScrubReport scrub_subarray(std::size_t shard, std::size_t sub,
+                             const ScrubPolicy& policy = {});
+
+  /// Re-program `cols` in place from their owning tenants' retained keys.
+  /// Returns the columns still deviant after the rewrite (stuck hardware
+  /// or unowned — nothing to rewrite them from).
+  std::vector<std::size_t> repair_columns(std::size_t shard,
+                                          const std::vector<std::size_t>& cols,
+                                          const ScrubPolicy& policy = {});
+
+  /// Full pass: scrub_subarray → repair_columns → migrate tenants still on
+  /// stuck columns (auto_migrate, needs ≥ 2 shards) → quarantine the
+  /// subarray when unrepairable columns reach policy.quarantine_after.
+  ScrubOutcome scrub_and_repair(std::size_t shard, std::size_t sub,
+                                const ScrubPolicy& policy = {});
+
+  /// Quarantine subarray `sub` of `shard` out of placement permanently.
+  void quarantine_subarray(std::size_t shard, std::size_t sub);
+  bool subarray_quarantined(std::size_t shard, std::size_t sub) const;
+  SubarrayHealth subarray_health(std::size_t shard, std::size_t sub) const;
+  /// Columns currently marked degraded on `shard` (detected, not yet
+  /// repaired or retired).
+  std::size_t degraded_columns(std::size_t shard) const;
+  /// True when any column of the user's current slot is marked degraded —
+  /// the engine flags (not fails) such users' responses while repair is in
+  /// flight.
+  bool user_degraded(std::size_t user_id) const;
+
  private:
   struct Shard {
     std::vector<Matrix> keys;  ///< legacy build staging, cleared by build()
@@ -322,6 +430,22 @@ class ShardedOvtStore {
   std::size_t router_refreshes_ = 0;  ///< guarded by lifecycle_mu_
   bool built_ = false;
   bool routed_ = false;
+
+  /// Least-loaded shard other than `from_shard` (migration off stuck
+  /// columns). Caller holds lifecycle_mu_.
+  std::size_t choose_migration_target_locked(std::size_t from_shard) const;
+
+  /// Scrubber-published health state, sized n_shards. Guarded by health_mu_,
+  /// a leaf lock: taken with lifecycle_mu_ and/or a shard mutex held, never
+  /// the other way around.
+  mutable std::mutex health_mu_;
+  /// Per-shard columns whose content currently deviates from pristine and
+  /// that a tenant may still be reading (detected, not yet repaired/retired).
+  std::vector<std::unordered_set<std::size_t>> degraded_cols_;
+  std::vector<std::unordered_map<std::size_t, SubarrayHealth>> subarray_health_;
+  /// Per-shard cumulative unrepairable columns per subarray — the
+  /// quarantine_after counter.
+  std::vector<std::unordered_map<std::size_t, std::size_t>> subarray_stuck_;
 };
 
 }  // namespace nvcim::serve

@@ -27,6 +27,12 @@ struct Response {
   /// dispatched (only already-expired requests are dropped before retrieve);
   /// the caller decides whether a late answer is worth anything.
   bool deadline_missed = false;
+  /// The scrubber has marked column(s) of this user's slot degraded (device
+  /// fault detected, repair pending or in flight). The answer was computed
+  /// from the degraded columns and delivered anyway — serving never fails a
+  /// request over a fault the repair path is already handling; the flag
+  /// lets the caller discount or retry the answer.
+  bool degraded = false;
 };
 
 /// One serving request: the tenant and its query. Everything about HOW the
@@ -86,6 +92,15 @@ class Cancelled : public Error {
 class EngineStopped : public Error {
  public:
   explicit EngineStopped(const std::string& what) : Error(what) {}
+};
+
+/// The submitted user id is unknown to the engine, or its write-behind
+/// admission has not gone live yet. submit() settles the handle's future
+/// with this error instead of throwing, so asynchronous callers learn of
+/// the failure on the same channel as every other per-request error.
+class UnknownUser : public Error {
+ public:
+  explicit UnknownUser(const std::string& what) : Error(what) {}
 };
 
 /// How admit() behaves: non_blocking turns pending-admission backpressure

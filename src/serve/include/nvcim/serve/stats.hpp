@@ -95,6 +95,18 @@ struct StatsSnapshot {
   /// try_admit_user() calls bounced with Overloaded (pending-admission
   /// backpressure bound hit).
   std::size_t rejected_admissions = 0;
+  // Device-fault tolerance accounting (zero without scrubbing in play).
+  std::size_t scrub_passes = 0;          ///< per-subarray scrub-and-repair passes
+  std::size_t scrub_columns_probed = 0;  ///< columns probed against pristine
+  std::size_t columns_degraded = 0;      ///< columns flagged degraded by scrubs
+  std::size_t columns_repaired = 0;      ///< degraded columns reprogrammed clean
+  std::size_t columns_stuck = 0;         ///< columns that failed reprogramming
+  std::size_t scrub_migrations = 0;      ///< tenants moved off stuck columns
+  std::size_t subarrays_quarantined = 0;
+  std::size_t degraded_responses = 0;    ///< responses delivered with degraded set
+  // Repair wall-clock percentiles (scrub passes that found degraded columns).
+  double repair_p50_ms = 0.0;
+  double repair_p95_ms = 0.0;
 };
 
 /// One slow-request exemplar: a request whose latency crossed the engine's
@@ -185,6 +197,18 @@ class EngineStats {
   /// One try_admit_user() bounced on the pending-admission bound.
   void record_admission_rejection();
 
+  // ---- Device-fault scrubbing / repair ----
+  /// One subarray scrub-and-repair pass: columns probed, flagged degraded,
+  /// repaired in place, left stuck after reprogramming, tenants migrated off
+  /// stuck hardware, and whether the pass quarantined the subarray.
+  void record_scrub_pass(std::size_t probed, std::size_t degraded, std::size_t repaired,
+                         std::size_t stuck, std::size_t migrated, bool quarantined);
+  /// Wall-clock of one scrub pass's repair-and-migrate phase (recorded only
+  /// for passes that found degraded columns — clean probes are free).
+  void record_repair_latency(double ms);
+  /// One response delivered with Response::degraded set.
+  void record_degraded_response();
+
   /// Keep one slow-request exemplar (bounded: the most recent kMaxSlow).
   void record_slow_request(const SlowRequest& slow);
   std::vector<SlowRequest> slow_requests() const;
@@ -245,6 +269,15 @@ class EngineStats {
   obs::Counter* expired_;
   obs::Counter* deadline_missed_;
   obs::Counter* cancelled_;
+  obs::Counter* scrub_passes_;
+  obs::Counter* scrub_columns_probed_;
+  obs::Counter* columns_degraded_;
+  obs::Counter* columns_repaired_;
+  obs::Counter* columns_stuck_;
+  obs::Counter* scrub_migrations_;
+  obs::Counter* subarrays_quarantined_;
+  obs::Counter* degraded_responses_;
+  obs::Histogram* repair_latency_;
 
   mutable std::mutex mu_;  ///< guards clock state, shard/tenant caches, slow_
   Clock::time_point start_{};

@@ -395,6 +395,86 @@ std::size_t ServingEngine::rebalance() {
   return migrated.load();
 }
 
+ScrubOutcome ServingEngine::scrub_now() {
+  NVCIM_CHECK_MSG(cfg_.lifecycle.enabled, "tenant lifecycle disabled in this engine");
+  return scrub_round(0);
+}
+
+ScrubOutcome ServingEngine::scrub_round(std::size_t budget) {
+  ScrubOutcome total;
+  // Snapshot the (shard, subarray) universe up front; capacity grown while
+  // the round runs is picked up next round.
+  std::vector<std::pair<std::size_t, std::size_t>> units;
+  for (std::size_t s = 0; s < store_.n_shards(); ++s)
+    for (std::size_t a = 0; a < store_.shard_subarrays(s); ++a) units.emplace_back(s, a);
+  if (units.empty()) return total;
+  const std::size_t n = budget == 0 ? units.size() : std::min(budget, units.size());
+  std::size_t cursor = 0;
+  {
+    std::lock_guard<std::mutex> lock(scrub_mu_);
+    cursor = scrub_cursor_;
+    scrub_cursor_ = (scrub_cursor_ + n) % units.size();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [shard, sub] = units[(cursor + i) % units.size()];
+    obs::Span span(&tracer_, "scrub_subarray", "scrub", "shard",
+                   static_cast<std::int64_t>(shard), "subarray",
+                   static_cast<std::int64_t>(sub));
+    const auto t0 = std::chrono::steady_clock::now();
+    const ScrubOutcome out = store_.scrub_and_repair(shard, sub, cfg_.scrubber.policy);
+    // Repair wall-clock only for passes that found something — clean probes
+    // would otherwise drown the histogram in near-zero samples.
+    if (out.columns_degraded > 0)
+      stats_.record_repair_latency(ms_between(t0, std::chrono::steady_clock::now()));
+    stats_.record_scrub_pass(out.columns_probed, out.columns_degraded, out.columns_repaired,
+                             out.columns_stuck, out.migrated_users.size(), out.quarantined);
+    // Scrub-driven migrations also count toward the global migration total,
+    // like rebalance()'s.
+    for (std::size_t u = 0; u < out.migrated_users.size(); ++u) stats_.record_migration();
+    total.columns_probed += out.columns_probed;
+    total.columns_degraded += out.columns_degraded;
+    total.columns_repaired += out.columns_repaired;
+    total.columns_stuck += out.columns_stuck;
+    total.migrated_users.insert(total.migrated_users.end(), out.migrated_users.begin(),
+                                out.migrated_users.end());
+    total.quarantined = total.quarantined || out.quarantined;
+  }
+  return total;
+}
+
+void ServingEngine::scrubber_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(scrub_mu_);
+      scrub_cv_.wait_for(lock,
+                         std::chrono::duration<double, std::milli>(cfg_.scrubber.interval_ms),
+                         [this] { return scrub_stop_; });
+      if (scrub_stop_) return;
+    }
+    // One round in flight at a time: a tick that lands while a slow repair
+    // is still running is skipped, not queued behind it.
+    if (scrub_inflight_.exchange(true)) continue;
+    bool enqueued = false;
+    {
+      // Same gate as rebalance(): tasks enqueued while running_ &&
+      // !stopping_ holds UNDER queue_mu_ are guaranteed a live worker to
+      // drain them (workers empty the aux queue before exiting).
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (running_ && !stopping_) {
+        aux_queue_.emplace_back([this](WorkerState&) {
+          scrub_round(cfg_.scrubber.subarrays_per_round);
+          scrub_inflight_.store(false);
+        });
+        enqueued = true;
+      }
+    }
+    if (enqueued)
+      queue_cv_.notify_one();
+    else
+      scrub_inflight_.store(false);
+  }
+}
+
 ServingEngine::DepRef ServingEngine::find_deployment(std::size_t user_id) const {
   std::lock_guard<std::mutex> lock(deployments_mu_);
   auto it = deployments_.find(user_id);
@@ -427,6 +507,15 @@ void ServingEngine::start() {
   workers_.reserve(cfg_.n_threads);
   for (std::size_t t = 0; t < cfg_.n_threads; ++t)
     workers_.emplace_back([this] { worker_loop(); });
+  if (cfg_.scrubber.enabled) {
+    NVCIM_CHECK_MSG(cfg_.lifecycle.enabled,
+                    "scrubber requires the tenant lifecycle (repair needs the mutable store)");
+    {
+      std::lock_guard<std::mutex> lock(scrub_mu_);
+      scrub_stop_ = false;
+    }
+    scrubber_ = std::thread([this] { scrubber_loop(); });
+  }
 }
 
 void ServingEngine::stop() {
@@ -437,8 +526,26 @@ void ServingEngine::stop() {
   }
   queue_cv_.notify_all();
   capacity_cv_.notify_all();
+  // The scrub ticker goes first: with stopping_ already set it can no
+  // longer enqueue rounds, and joining it here keeps it from touching the
+  // queue while the workers drain.
+  {
+    std::lock_guard<std::mutex> lock(scrub_mu_);
+    scrub_stop_ = true;
+  }
+  scrub_cv_.notify_all();
+  if (scrubber_.joinable()) scrubber_.join();
   for (std::thread& w : workers_) w.join();
   workers_.clear();
+  // Deterministic shutdown for write-behind admissions: the workers drained
+  // every staged programming span above (aux tasks run before exit), so
+  // every in-flight admission has settled — committed live or rolled back —
+  // by the time the map empties. The wait is for stragglers settling inline
+  // on a producer thread; it is bounded, never indefinite.
+  {
+    std::unique_lock<std::mutex> lock(admissions_mu_);
+    admissions_cv_.wait(lock, [this] { return admissions_.empty(); });
+  }
   // Still-queued requests never dangle and are never silently served after
   // shutdown began: every undispatched future settles with EngineStopped
   // BEFORE stop() returns (in-flight batches completed above, in join).
@@ -492,10 +599,20 @@ RequestHandle ServingEngine::submit(Request request, SubmitOptions opts) {
   // write-behind Pending still being written. Checking only the deployment
   // would let a request race into a batch whose pinned epoch predates the
   // slot and fail spuriously; admitting a Pending one would score
-  // half-programmed columns.
-  NVCIM_CHECK_MSG(find_deployment(request.user_id).dep != nullptr &&
-                      store_.user_live(request.user_id),
-                  "unknown user " << request.user_id);
+  // half-programmed columns. The failure is structured, not fatal: the
+  // handle's future settles with UnknownUser, so async callers (who may
+  // race a submit against an eviction or a still-pending admission) learn
+  // of it on the same channel as every other per-request error.
+  if (find_deployment(request.user_id).dep == nullptr || !store_.user_live(request.user_id)) {
+    QueuedRequest qr;
+    qr.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    qr.user_id = request.user_id;
+    qr.on_complete = std::move(opts.on_complete);
+    RequestHandle handle(this, qr.id, qr.promise.get_future());
+    finish_error(qr, std::make_exception_ptr(UnknownUser(
+                         "unknown or not-yet-live user " + std::to_string(request.user_id))));
+    return handle;
+  }
   QueuedRequest qr;
   qr.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   qr.user_id = request.user_id;
@@ -1145,6 +1262,13 @@ void ServingEngine::process_batch(std::vector<QueuedRequest>&& batch, WorkerStat
       // already-expired requests are dropped), the miss is accounted.
       resp.deadline_missed = p.has_deadline() && done > p.deadline;
       if (resp.deadline_missed) stats_.record_deadline_miss(p.user_id);
+      // Device-fault degradation: a scrub flagged column(s) of this user's
+      // slot and repair is pending or in flight. The answer was computed
+      // from those columns and is delivered anyway — marked, not failed.
+      if (cfg_.lifecycle.enabled) {
+        resp.degraded = store_.user_degraded(p.user_id);
+        if (resp.degraded) stats_.record_degraded_response();
+      }
       stats_.record_request(p.user_id, resp.latency_ms, wait_ms, resp.cache_hit);
       if (tracer_.enabled()) {
         tracer_.complete("request", "request", tracer_.to_us(p.enqueued),

@@ -88,6 +88,70 @@ std::size_t SlotAllocator::allocate(std::size_t n, std::uint64_t safe_epoch, std
 void SlotAllocator::release(std::size_t begin, std::size_t end, std::uint64_t freed_epoch) {
   NVCIM_CHECK_MSG(begin < end && end <= tail_, "bad release [" << begin << ", " << end << ")");
   occupied_ -= end - begin;
+  // Quarantined columns never return to the free list: hand back only the
+  // clean sub-ranges of the released slot.
+  std::size_t b = begin;
+  for (const auto& q : quarantine_) {
+    if (q.second <= b) continue;
+    if (q.first >= end) break;
+    if (b < q.first) insert_free(b, std::min(q.first, end), freed_epoch);
+    b = std::max(b, q.second);
+    if (b >= end) return;
+  }
+  if (b < end) insert_free(b, end, freed_epoch);
+}
+
+void SlotAllocator::quarantine(std::size_t begin, std::size_t end) {
+  NVCIM_CHECK_MSG(begin < end, "bad quarantine [" << begin << ", " << end << ")");
+  // Drop the quarantined intersection of the free list.
+  std::vector<FreeRange> kept;
+  kept.reserve(free_.size() + 1);
+  for (const FreeRange& r : free_) {
+    if (r.end <= begin || r.begin >= end) {
+      kept.push_back(r);
+      continue;
+    }
+    if (r.begin < begin) kept.push_back({r.begin, begin, r.freed_epoch});
+    if (r.end > end) kept.push_back({end, r.end, r.freed_epoch});
+  }
+  free_ = std::move(kept);
+  // Keep every quarantined range below the tail, so the tail-bump path can
+  // never re-enter it; the clean run in front stays allocatable.
+  if (end > tail_) {
+    if (tail_ < begin) insert_free(tail_, begin, 0);
+    tail_ = end;
+  }
+  // Merge into the quarantine list, counting only newly covered columns.
+  std::size_t b = begin, e = end, already = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> merged;
+  merged.reserve(quarantine_.size() + 1);
+  for (const auto& q : quarantine_) {
+    if (q.second < b || q.first > e) {
+      merged.push_back(q);
+      continue;
+    }
+    const std::size_t lo = std::max(begin, q.first);
+    const std::size_t hi = std::min(end, q.second);
+    if (lo < hi) already += hi - lo;
+    b = std::min(b, q.first);
+    e = std::max(e, q.second);
+  }
+  merged.push_back({b, e});
+  std::sort(merged.begin(), merged.end());
+  quarantine_ = std::move(merged);
+  quarantined_cols_ += (end - begin) - already;
+}
+
+bool SlotAllocator::is_quarantined(std::size_t begin, std::size_t end) const {
+  for (const auto& q : quarantine_) {
+    if (q.second <= begin) continue;
+    if (q.first >= end) break;
+    return true;
+  }
+  return false;
+}
+
+void SlotAllocator::insert_free(std::size_t begin, std::size_t end, std::uint64_t freed_epoch) {
   auto it = std::lower_bound(free_.begin(), free_.end(), begin,
                              [](const FreeRange& r, std::size_t b) { return r.begin < b; });
   it = free_.insert(it, {begin, end, freed_epoch});

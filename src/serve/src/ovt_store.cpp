@@ -28,6 +28,9 @@ ShardedOvtStore::ShardedOvtStore(OvtStoreConfig cfg) : cfg_(std::move(cfg)) {
                   "sketch_bits must be in [4, 8]");
   shards_.reserve(cfg_.n_shards);
   for (std::size_t s = 0; s < cfg_.n_shards; ++s) shards_.push_back(std::make_unique<Shard>());
+  degraded_cols_.resize(cfg_.n_shards);
+  subarray_health_.resize(cfg_.n_shards);
+  subarray_stuck_.resize(cfg_.n_shards);
 }
 
 std::size_t ShardedOvtStore::slot_align() const {
@@ -40,9 +43,24 @@ std::size_t ShardedOvtStore::slot_align() const {
 }
 
 std::size_t ShardedOvtStore::choose_shard_locked() const {
+  // Quarantined columns count toward load: a shard with retired hardware
+  // looks fuller, steering new placements toward healthy shards.
+  const auto load = [this](std::size_t s) {
+    return shards_[s]->allocator.occupied() + shards_[s]->allocator.quarantined();
+  };
   std::size_t target = 0;
   for (std::size_t s = 1; s < shards_.size(); ++s)
-    if (shards_[s]->allocator.occupied() < shards_[target]->allocator.occupied()) target = s;
+    if (load(s) < load(target)) target = s;
+  return target;
+}
+
+std::size_t ShardedOvtStore::choose_migration_target_locked(std::size_t from_shard) const {
+  const auto load = [this](std::size_t s) {
+    return shards_[s]->allocator.occupied() + shards_[s]->allocator.quarantined();
+  };
+  std::size_t target = from_shard == 0 ? 1 : 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    if (s != from_shard && load(s) < load(target)) target = s;
   return target;
 }
 
@@ -674,6 +692,267 @@ cim::OpCounters ShardedOvtStore::counters() const {
     if (s->retriever != nullptr) c += s->retriever->counters();
   }
   return c;
+}
+
+// ---------------------------------------------------------------------------
+// Device-fault tolerance
+// ---------------------------------------------------------------------------
+
+std::size_t ShardedOvtStore::shard_subarrays(std::size_t shard) const {
+  NVCIM_CHECK_MSG(shard < shards_.size(), "shard " << shard << " out of range");
+  return shards_[shard]->capacity.load(std::memory_order_acquire) / cols_per_subarray();
+}
+
+std::size_t ShardedOvtStore::inject_column_fault(std::size_t shard, std::size_t col,
+                                                 nvm::FaultKind kind, std::size_t n_cells,
+                                                 std::uint64_t seed) {
+  NVCIM_CHECK_MSG(shard < shards_.size(), "shard " << shard << " out of range");
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  NVCIM_CHECK_MSG(s.retriever != nullptr, "shard " << shard << " not provisioned");
+  return s.retriever->inject_column_fault(col, kind, n_cells, seed);
+}
+
+void ShardedOvtStore::kill_subarray(std::size_t shard, std::size_t sub) {
+  NVCIM_CHECK_MSG(shard < shards_.size(), "shard " << shard << " out of range");
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  NVCIM_CHECK_MSG(s.retriever != nullptr, "shard " << shard << " not provisioned");
+  s.retriever->kill_subarray(sub);
+}
+
+void ShardedOvtStore::set_drift_rate(double rate_per_tick) {
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->retriever != nullptr) s->retriever->set_drift_rate(rate_per_tick);
+  }
+}
+
+void ShardedOvtStore::advance_age(std::uint64_t ticks) {
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (s->retriever != nullptr) s->retriever->advance_age(ticks);
+  }
+}
+
+ScrubReport ShardedOvtStore::scrub_subarray(std::size_t shard, std::size_t sub,
+                                            const ScrubPolicy& policy) {
+  NVCIM_CHECK_MSG(built_, "store not built");
+  NVCIM_CHECK_MSG(shard < shards_.size(), "shard " << shard << " out of range");
+  ScrubReport report;
+  if (subarray_quarantined(shard, sub)) {  // retired — its columns no longer serve
+    report.health = SubarrayHealth::Failed;
+    return report;
+  }
+  const std::size_t cols = cols_per_subarray();
+  const std::size_t begin = sub * cols, end = begin + cols;
+  Shard& s = *shards_[shard];
+  // Individually-retired columns (stuck hardware pulled from the placement
+  // pool) stay physically deviant forever: skip them, or every pass would
+  // re-flag the same dead column and pump the subarray's stuck count toward
+  // quarantine. Snapshot the retired set first — lifecycle_mu_ precedes
+  // s.mu in the lock order, and a column retiring between snapshot and
+  // probe is benign (flagged once more, skipped next pass).
+  std::vector<bool> retired(cols, false);
+  if (cfg_.lifecycle.enabled) {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    for (std::size_t c = begin; c < end; ++c)
+      retired[c - begin] = s.allocator.is_quarantined(c, c + 1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.retriever == nullptr || end > s.retriever->n_keys()) return report;
+    for (std::size_t c = begin; c < end; ++c) {
+      if (retired[c - begin]) continue;
+      const cim::ColumnProbe probe = s.retriever->probe_column(c, policy.cell_eps);
+      ++report.columns_probed;
+      if (probe.deviant > 0 && probe.deviant_frac() > policy.column_deviant_frac)
+        report.degraded.push_back(c);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> h(health_mu_);
+    auto& dset = degraded_cols_[shard];
+    // Re-probe supersedes the previous verdict for every column visited.
+    for (std::size_t c = begin; c < end; ++c) dset.erase(c);
+    for (const std::size_t c : report.degraded) dset.insert(c);
+    if (report.degraded.empty())
+      subarray_health_[shard].erase(sub);  // Healthy is the map's default
+    else
+      subarray_health_[shard][sub] = SubarrayHealth::Degraded;
+  }
+  report.health = report.degraded.empty() ? SubarrayHealth::Healthy : SubarrayHealth::Degraded;
+  return report;
+}
+
+std::vector<std::size_t> ShardedOvtStore::repair_columns(std::size_t shard,
+                                                         const std::vector<std::size_t>& cols,
+                                                         const ScrubPolicy& policy) {
+  NVCIM_CHECK_MSG(cfg_.lifecycle.enabled, "tenant lifecycle disabled in this store");
+  NVCIM_CHECK_MSG(shard < shards_.size(), "shard " << shard << " out of range");
+  std::vector<std::size_t> stuck;
+  if (cols.empty()) return stuck;
+  // The lifecycle lock stabilizes the directory and the retained keys for
+  // the whole pass; each column write takes the shard lock alone, so serving
+  // on this shard is excluded per column, not per pass.
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  const auto snap = directory_.acquire();
+  Shard& s = *shards_[shard];
+  for (const std::size_t col : cols) {
+    // Find the owning tenant (slots are few; a linear scan is fine at
+    // maintenance cadence).
+    const Matrix* key = nullptr;
+    for (const auto& [user, slot] : snap->slots) {
+      if (slot.shard != shard || col < slot.begin || col >= slot.end) continue;
+      key = &user_keys_.at(user)[col - slot.begin];
+      break;
+    }
+    std::lock_guard<std::mutex> slock(s.mu);
+    NVCIM_CHECK_MSG(s.retriever != nullptr, "shard " << shard << " not provisioned");
+    // Per-column noise streams and per-key quantization scales make the
+    // rewrite bit-identical to the original programming — drifted or
+    // disturbed cells land back on their pristine levels exactly.
+    if (key != nullptr) s.retriever->program_keys(col, {*key});
+    // An unowned deviant column has nothing to rewrite it from; a stuck cell
+    // survives the rewrite either way — the re-probe decides.
+    const cim::ColumnProbe probe = s.retriever->probe_column(col, policy.cell_eps);
+    if (probe.deviant > 0 && probe.deviant_frac() > policy.column_deviant_frac)
+      stuck.push_back(col);
+  }
+  {
+    std::lock_guard<std::mutex> h(health_mu_);
+    auto& dset = degraded_cols_[shard];
+    for (const std::size_t col : cols) dset.erase(col);
+    for (const std::size_t col : stuck) dset.insert(col);
+  }
+  return stuck;
+}
+
+ScrubOutcome ShardedOvtStore::scrub_and_repair(std::size_t shard, std::size_t sub,
+                                               const ScrubPolicy& policy) {
+  ScrubOutcome out;
+  const ScrubReport report = scrub_subarray(shard, sub, policy);
+  out.columns_probed = report.columns_probed;
+  out.columns_degraded = report.degraded.size();
+  out.health = report.health;
+  if (report.degraded.empty()) return out;
+
+  std::vector<std::size_t> stuck = report.degraded;
+  if (policy.auto_repair) {
+    stuck = repair_columns(shard, report.degraded, policy);
+    out.columns_repaired = report.degraded.size() - stuck.size();
+  }
+  out.columns_stuck = stuck.size();
+  if (stuck.empty()) {
+    std::lock_guard<std::mutex> h(health_mu_);
+    subarray_health_[shard].erase(sub);
+    out.health = SubarrayHealth::Healthy;
+    return out;
+  }
+
+  // Stuck columns are bad hardware: retire each from the placement pool
+  // (later releases of overlapping slots drop the quarantined part), and
+  // plan migrations for the tenants still sitting on them.
+  std::vector<std::pair<std::size_t, std::size_t>> moves;  // user → target shard
+  std::size_t stuck_total = 0;
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    const auto snap = directory_.acquire();
+    std::unordered_set<std::size_t> owners;
+    for (const std::size_t col : stuck) {
+      shards_[shard]->allocator.quarantine(col, col + 1);
+      for (const auto& [user, slot] : snap->slots) {
+        if (slot.shard != shard || col < slot.begin || col >= slot.end) continue;
+        if (policy.auto_migrate && shards_.size() > 1 && snap->pending.count(user) == 0 &&
+            owners.insert(user).second)
+          moves.emplace_back(user, choose_migration_target_locked(shard));
+        break;
+      }
+    }
+    std::lock_guard<std::mutex> h(health_mu_);
+    stuck_total = (subarray_stuck_[shard][sub] += stuck.size());
+  }
+
+  // Migrations run without the lifecycle lock held — migrate_user takes it
+  // itself (program-then-publish-then-free, no quiesce). Until a tenant has
+  // moved, its stuck columns stay in the degraded set, so its responses keep
+  // carrying the degraded flag rather than failing.
+  for (const auto& [user, target] : moves) {
+    migrate_user(user, target);
+    out.migrated_users.push_back(user);
+  }
+  {
+    // Retire the stuck columns of migrated (or unowned) slots from the
+    // degraded set; columns whose tenant could not move stay flagged.
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    const auto snap = directory_.acquire();
+    std::lock_guard<std::mutex> h(health_mu_);
+    auto& dset = degraded_cols_[shard];
+    for (const std::size_t col : stuck) {
+      bool occupied = false;
+      for (const auto& [user, slot] : snap->slots) {
+        (void)user;
+        if (slot.shard == shard && col >= slot.begin && col < slot.end) {
+          occupied = true;
+          break;
+        }
+      }
+      if (!occupied) dset.erase(col);
+    }
+    subarray_health_[shard][sub] = SubarrayHealth::Degraded;
+  }
+  out.health = SubarrayHealth::Degraded;
+
+  if (stuck_total >= policy.quarantine_after) {
+    quarantine_subarray(shard, sub);
+    out.quarantined = true;
+    out.health = SubarrayHealth::Failed;
+  }
+  return out;
+}
+
+void ShardedOvtStore::quarantine_subarray(std::size_t shard, std::size_t sub) {
+  NVCIM_CHECK_MSG(cfg_.lifecycle.enabled, "tenant lifecycle disabled in this store");
+  NVCIM_CHECK_MSG(shard < shards_.size(), "shard " << shard << " out of range");
+  const std::size_t cols = cols_per_subarray();
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    shards_[shard]->allocator.quarantine(sub * cols, (sub + 1) * cols);
+  }
+  std::lock_guard<std::mutex> h(health_mu_);
+  subarray_health_[shard][sub] = SubarrayHealth::Failed;
+}
+
+bool ShardedOvtStore::subarray_quarantined(std::size_t shard, std::size_t sub) const {
+  // Health-map Failed, not allocator intersection: a single retired column
+  // must not mark its whole subarray as quarantined.
+  return subarray_health(shard, sub) == SubarrayHealth::Failed;
+}
+
+SubarrayHealth ShardedOvtStore::subarray_health(std::size_t shard, std::size_t sub) const {
+  NVCIM_CHECK_MSG(shard < shards_.size(), "shard " << shard << " out of range");
+  std::lock_guard<std::mutex> h(health_mu_);
+  const auto it = subarray_health_[shard].find(sub);
+  return it == subarray_health_[shard].end() ? SubarrayHealth::Healthy : it->second;
+}
+
+std::size_t ShardedOvtStore::degraded_columns(std::size_t shard) const {
+  NVCIM_CHECK_MSG(shard < shards_.size(), "shard " << shard << " out of range");
+  std::lock_guard<std::mutex> h(health_mu_);
+  return degraded_cols_[shard].size();
+}
+
+bool ShardedOvtStore::user_degraded(std::size_t user_id) const {
+  const auto snap = directory_.acquire();
+  const auto it = snap->slots.find(user_id);
+  if (it == snap->slots.end()) return false;
+  const UserSlot& slot = it->second;
+  std::lock_guard<std::mutex> h(health_mu_);
+  const auto& dset = degraded_cols_[slot.shard];
+  if (dset.empty()) return false;
+  for (const std::size_t col : dset)
+    if (col >= slot.begin && col < slot.end) return true;
+  return false;
 }
 
 }  // namespace nvcim::serve

@@ -74,7 +74,26 @@ EngineStats::EngineStats()
       deadline_missed_(&registry_.counter("nvcim_deadline_missed_total", {},
                                           "requests completed after their deadline")),
       cancelled_(&registry_.counter("nvcim_requests_cancelled_total", {},
-                                    "requests cancelled before dispatch")) {}
+                                    "requests cancelled before dispatch")),
+      scrub_passes_(&registry_.counter("nvcim_scrub_passes_total", {},
+                                       "per-subarray scrub-and-repair passes")),
+      scrub_columns_probed_(&registry_.counter("nvcim_scrub_columns_probed_total", {},
+                                               "columns probed against pristine levels")),
+      columns_degraded_(&registry_.counter("nvcim_columns_degraded_total", {},
+                                           "columns flagged degraded by scrubs")),
+      columns_repaired_(&registry_.counter("nvcim_columns_repaired_total", {},
+                                           "degraded columns reprogrammed clean")),
+      columns_stuck_(&registry_.counter("nvcim_columns_stuck_total", {},
+                                        "columns unrepairable after reprogramming")),
+      scrub_migrations_(&registry_.counter("nvcim_scrub_migrations_total", {},
+                                           "tenants migrated off stuck columns")),
+      subarrays_quarantined_(&registry_.counter("nvcim_subarrays_quarantined_total", {},
+                                                "subarrays retired from placement")),
+      degraded_responses_(&registry_.counter("nvcim_degraded_responses_total", {},
+                                             "responses served from degraded columns")),
+      repair_latency_(&registry_.histogram("nvcim_repair_latency_ms", {},
+                                           "repair-and-migrate wall-clock per scrub pass (ms)",
+                                           latency_buckets())) {}
 
 void EngineStats::start_clock() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -222,6 +241,22 @@ void EngineStats::record_admission_latency(double ms) { admission_latency_->reco
 
 void EngineStats::record_admission_rejection() { rejected_admissions_->inc(); }
 
+void EngineStats::record_scrub_pass(std::size_t probed, std::size_t degraded,
+                                    std::size_t repaired, std::size_t stuck,
+                                    std::size_t migrated, bool quarantined) {
+  scrub_passes_->inc();
+  scrub_columns_probed_->inc(static_cast<double>(probed));
+  columns_degraded_->inc(static_cast<double>(degraded));
+  columns_repaired_->inc(static_cast<double>(repaired));
+  columns_stuck_->inc(static_cast<double>(stuck));
+  scrub_migrations_->inc(static_cast<double>(migrated));
+  if (quarantined) subarrays_quarantined_->inc();
+}
+
+void EngineStats::record_repair_latency(double ms) { repair_latency_->record(ms); }
+
+void EngineStats::record_degraded_response() { degraded_responses_->inc(); }
+
 void EngineStats::record_slow_request(const SlowRequest& slow) {
   std::lock_guard<std::mutex> lock(mu_);
   slow_.push_back(slow);
@@ -294,6 +329,18 @@ StatsSnapshot EngineStats::snapshot() const {
   s.expired_requests = static_cast<std::size_t>(expired_->value());
   s.deadline_missed = static_cast<std::size_t>(deadline_missed_->value());
   s.cancelled_requests = static_cast<std::size_t>(cancelled_->value());
+  s.scrub_passes = static_cast<std::size_t>(scrub_passes_->value());
+  s.scrub_columns_probed = static_cast<std::size_t>(scrub_columns_probed_->value());
+  s.columns_degraded = static_cast<std::size_t>(columns_degraded_->value());
+  s.columns_repaired = static_cast<std::size_t>(columns_repaired_->value());
+  s.columns_stuck = static_cast<std::size_t>(columns_stuck_->value());
+  s.scrub_migrations = static_cast<std::size_t>(scrub_migrations_->value());
+  s.subarrays_quarantined = static_cast<std::size_t>(subarrays_quarantined_->value());
+  s.degraded_responses = static_cast<std::size_t>(degraded_responses_->value());
+  if (repair_latency_->count() > 0) {
+    s.repair_p50_ms = repair_latency_->value_at_quantile(0.50);
+    s.repair_p95_ms = repair_latency_->value_at_quantile(0.95);
+  }
   return s;
 }
 

@@ -420,7 +420,8 @@ TEST(AsyncAdmission, EvictJoinsInFlightAdmission) {
   engine.evict_user(300);
   EXPECT_FALSE(engine.store().has_user(300));
   Rng qr(711);
-  EXPECT_THROW(engine.submit(300, f.query(qr)), Error);
+  // Evicted: submits settle their future with the structured UnknownUser.
+  EXPECT_THROW(engine.submit(300, f.query(qr)).get(), serve::UnknownUser);
 
   // The id is immediately re-admittable.
   engine.admit_user(300, f.make_deployment(300));
@@ -475,6 +476,34 @@ TEST(AsyncAdmission, ConcurrentChurnServingAndRebalance) {
   EXPECT_EQ(s.users_evicted, 6u);
   EXPECT_EQ(s.programming_queue_depth, 0u);
   engine.stop();
+}
+
+TEST(AsyncAdmission, StopDrainsInFlightAdmissionsDeterministically) {
+  AsyncEngineFixture f;
+  serve::ServingEngine engine(f.model, f.task, f.config(2, 2, 8));
+  for (std::size_t u = 0; u < 2; ++u) engine.add_deployment(u, f.make_deployment(u));
+  engine.start();
+
+  // Fire a burst of write-behind admissions and stop() immediately, without
+  // joining any of them: stop() must drain every staged programming span
+  // and wait for every admission to settle before returning — no tenant may
+  // be left half-programmed.
+  std::vector<std::size_t> users;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::size_t u = 2000 + i;
+    engine.admit_user(u, f.make_deployment(u, 24));
+    users.push_back(u);
+  }
+  engine.stop();
+
+  // Every admission committed fully: live slot, zero staged spans left.
+  for (const std::size_t u : users) EXPECT_TRUE(engine.store().user_live(u)) << "user " << u;
+  const serve::StatsSnapshot s = engine.stats();
+  EXPECT_EQ(s.users_admitted, users.size());
+  EXPECT_EQ(s.programming_queue_depth, 0u);
+  // wait_admitted() after the drain is a no-op, not a hang or an error.
+  for (const std::size_t u : users) engine.wait_admitted(u);
+  engine.stop();  // idempotent
 }
 
 }  // namespace

@@ -503,7 +503,7 @@ TEST(LifecycleEngine, AdmitAndEvictWhileServing) {
 
   // Live eviction: in-flight traffic drains, then submits are rejected.
   engine.evict_user(2);
-  EXPECT_THROW(engine.submit(2, f.query(qr)), Error);
+  EXPECT_THROW(engine.submit(2, f.query(qr)).get(), serve::UnknownUser);
   EXPECT_FALSE(engine.store().has_user(2));
 
   // Untouched users are bit-identical through the whole churn.

@@ -399,7 +399,9 @@ TEST(ServingEngine, LifecycleAndValidation) {
   fw.train_from_buffer(f.task.make_user(40, 10, 0).train);
   engine.add_deployment(0, fw.export_deployment());
   engine.start();
-  EXPECT_THROW(engine.submit(42, q), Error);  // unknown user
+  // Unknown users settle the future with a structured UnknownUser error
+  // instead of throwing out of submit() — async callers see it on .get().
+  EXPECT_THROW(engine.submit(42, q).get(), UnknownUser);
   EXPECT_THROW(engine.add_deployment(1, core::TrainedDeployment{}), Error);  // running
   engine.stop();
   engine.stop();  // idempotent

@@ -20,6 +20,14 @@ Policy (chosen so the gate is meaningful across runner generations):
     re-picks a compliant point each run) must stay >=
     ``default_recall_floor``. Absolute floors, not relative ones: a speedup
     bought below the floor is a regression regardless of the baseline.
+  * ``faulted_recall_at1`` (the fault-storm scenario's recall@1 while a
+    drift + stuck-column storm is live and unrepaired, against the same
+    engine's pristine-pass indices) must stay >= ``faulted_recall_floor``:
+    serving through device faults must degrade gracefully, never collapse.
+    Same-engine ratio of match counts, hardware-portable, active under
+    ``--ratios-only``. The companion ``fault_impact`` (p95 serving while
+    the background scrubber repairs the storm / steady p95) is gated by
+    the generic ``_impact`` ceiling rule below.
   * Impact-ratio leaves (keys ending in ``_impact``, e.g. the churn
     scenario's p95 ratio of serving-under-churn vs steady serving) are
     LOWER-is-better and hardware-portable (both sides of the ratio come
@@ -126,6 +134,12 @@ def main():
                          "the default point sits near 0.95 and floats run to run, "
                          "but a catastrophic routing regression (e.g. 0.5) must "
                          "fail (default 0.90)")
+    ap.add_argument("--faulted-recall-floor", type=float, default=0.90,
+                    help="absolute floor for faulted_recall_at1 — recall@1 "
+                         "while an unrepaired drift + stuck-column storm is "
+                         "live. Faults corrupt a bounded set of tenant "
+                         "columns, so serving must degrade gracefully "
+                         "(default 0.90)")
     ap.add_argument("--obs-overhead-ceiling", type=float, default=0.03,
                     help="absolute ceiling for obs_overhead_frac — the fraction "
                          "of throughput tracing may cost (default 0.03; the "
@@ -184,6 +198,19 @@ def main():
             if value < floor:
                 failures.append(f"REGRESSED  {dotted}: recall {value:.4f} below "
                                 f"floor {floor:.2f}")
+        elif key == "faulted_recall_at1":
+            # Absolute quality floor under a live (unrepaired) fault storm:
+            # same-engine match ratio, hardware-portable, active under
+            # --ratios-only.
+            checked += 1
+            floor = args.faulted_recall_floor
+            status = "ok" if value >= floor else "REGRESSED"
+            print(f"{status:>9}  {dotted}: {base:.4f} -> {value:.4f} "
+                  f"(floor {floor:.2f})")
+            if value < floor:
+                failures.append(f"REGRESSED  {dotted}: recall {value:.4f} under "
+                                f"fault storm below floor {floor:.2f} — faults "
+                                "are no longer contained to their columns")
         elif key == "fairness_impact":
             # Absolute ceiling on a same-run ratio (cold-tenant p99 under DRR
             # vs uncontended): hardware-portable, active under --ratios-only.

@@ -5,7 +5,11 @@
     parse, every series must belong to a ``# TYPE``-declared family, and
     histogram families must be internally consistent: cumulative ``_bucket``
     counts monotone in ``le``, the ``le="+Inf"`` bucket equal to ``_count``,
-    and ``_sum``/``_count`` present per series.
+    and ``_sum``/``_count`` present per series. The scrubber's fault-
+    tolerance families (``nvcim_scrub_*``, ``nvcim_columns_*``,
+    ``nvcim_repair_latency_ms``, ...) must be declared even when idle —
+    EngineStats registers them unconditionally so dashboards can always
+    plot them from zero.
   * ``trace_serve.json`` — Chrome trace_event JSON. Must be valid JSON with
     a ``traceEvents`` array whose duration events carry name/cat/ts/dur,
     and must contain the span categories the engine promises (request,
@@ -24,6 +28,22 @@ SAMPLE_RE = re.compile(
     r'(?:\{(?P<labels>[^}]*)\})?'
     r'\s+(?P<value>[^ ]+)$')
 LABEL_RE = re.compile(r'^(?P<k>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<v>(?:[^"\\]|\\.)*)"$')
+
+# Families the engine promises to export unconditionally (registered at
+# construction, so they appear — at zero — even when the subsystem is idle).
+# The scrubber/self-repair set is listed explicitly: a refactor that drops
+# one silently breaks every fault-tolerance dashboard and alert.
+REQUIRED_FAMILIES = (
+    "nvcim_scrub_passes_total",
+    "nvcim_scrub_columns_probed_total",
+    "nvcim_columns_degraded_total",
+    "nvcim_columns_repaired_total",
+    "nvcim_columns_stuck_total",
+    "nvcim_scrub_migrations_total",
+    "nvcim_subarrays_quarantined_total",
+    "nvcim_degraded_responses_total",
+    "nvcim_repair_latency_ms",
+)
 
 
 def parse_labels(text):
@@ -120,6 +140,10 @@ def check_prometheus(path):
         errors.append("no samples found — empty exposition?")
     if not buckets:
         errors.append("no histogram series found — EngineStats not exporting?")
+    for family in REQUIRED_FAMILIES:
+        if family not in types:
+            errors.append(f"required family {family} missing — scrub/fault "
+                          "metrics must be registered even when idle")
     return errors, n_samples
 
 
