@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <fstream>
 #include <future>
@@ -526,6 +527,19 @@ void bench_obs(FILE* json, std::size_t n_requests, std::size_t n_users) {
   serve::ServingConfig on_cfg = off_cfg;
   on_cfg.tracing.enabled = true;
   on_cfg.slow_request_ms = 1e6;  // exemplar check armed (branch cost), never firing
+  // The full introspection plane rides the measured side: windows + SLO
+  // evaluation always run in EngineStats, and the embedded HTTP server is up
+  // on an ephemeral port — the overhead gate covers all of it, not just
+  // tracing.
+  on_cfg.introspection.enabled = true;
+
+  // >0: after the export pass, keep the engine (and its HTTP server) alive
+  // this long so an external scraper — CI's check_exposition.py --url — can
+  // hit /metrics and /healthz on a live engine. The hold happens outside the
+  // timed region.
+  double http_hold_ms = 0.0;
+  if (const char* e = std::getenv("NVCIM_SERVE_HTTP_HOLD_MS"))
+    http_hold_ms = std::strtod(e, nullptr);
 
   std::size_t trace_events = 0, trace_dropped = 0;
   const auto run = [&](const serve::ServingConfig& cfg, bool export_artifacts,
@@ -545,13 +559,40 @@ void bench_obs(FILE* json, std::size_t n_requests, std::size_t n_users) {
     }
     const double elapsed_ms = now_ms() - t0;
     *stats = engine.stats();
+    if (export_artifacts) {
+      // Quiesce before dumping the reference exposition: the batch worker
+      // records stage totals just after fulfilling the last futures.
+      std::string text = engine.metrics().prometheus_text();
+      for (int i = 0; i < 100; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        std::string again = engine.metrics().prometheus_text();
+        if (again == text) break;
+        text = std::move(again);
+      }
+      {
+        std::ofstream prom("metrics_serve.prom");
+        prom << text;
+      }
+      const std::uint16_t port = engine.introspection_port();
+      if (port != 0) {
+        // Published last: a scraper that waits for this file is guaranteed
+        // the reference dump above already exists.
+        std::ofstream url("introspection_url.txt");
+        url << "http://127.0.0.1:" << port << "\n";
+      }
+      if (http_hold_ms > 0.0 && port != 0) {
+        std::printf("  holding introspection server at 127.0.0.1:%u for %.0f ms "
+                    "(introspection_url.txt)\n",
+                    static_cast<unsigned>(port), http_hold_ms);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(static_cast<long>(http_hold_ms)));
+      }
+    }
     engine.stop();  // quiesce the workers before reading the trace rings
     if (export_artifacts) {
       trace_events = engine.tracer().events().size();
       trace_dropped = static_cast<std::size_t>(engine.tracer().dropped());
       engine.tracer().write_chrome_trace_file("trace_serve.json");
-      std::ofstream prom("metrics_serve.prom");
-      prom << engine.metrics().prometheus_text();
     }
     return 1000.0 * static_cast<double>(w.requests.size()) / elapsed_ms;
   };
@@ -1226,6 +1267,13 @@ int main() {
   if (const char* e = std::getenv("NVCIM_SERVE_REQUESTS"))
     n_requests = std::strtoul(e, nullptr, 10);
   if (const char* e = std::getenv("NVCIM_SERVE_USERS")) n_users = std::strtoul(e, nullptr, 10);
+  // Comma/space-separated scenario filter, e.g. NVCIM_SERVE_SCENARIO=obs runs
+  // only bench_obs — CI uses this for the fast live-scrape check. Unset runs
+  // everything.
+  const char* scenario = std::getenv("NVCIM_SERVE_SCENARIO");
+  const auto scenario_on = [&](const char* name) {
+    return scenario == nullptr || std::strstr(scenario, name) != nullptr;
+  };
 
   std::printf("================================================================\n");
   std::printf("bench_serve: multi-tenant serving engine throughput\n");
@@ -1240,34 +1288,39 @@ int main() {
   std::fprintf(json, "{\n  \"bench\": \"serve\",\n  \"users\": %zu, \"requests\": %zu,\n",
                n_users, n_requests);
 
-  bench_batched_vs_per_query(json);
-  bench_kernel(json);
-  bench_retrieval_bound(json, n_requests, n_users);
-  bench_two_phase(json, n_requests, n_users);
-  bench_churn(json, n_requests, n_users);
-  bench_obs(json, n_requests, n_users);
-  bench_slo(json, n_requests, n_users);
-  bench_faults(json, n_requests, n_users);
-  bench_encode_bound(json, n_requests, n_users);
+  if (scenario_on("microbench")) bench_batched_vs_per_query(json);
+  if (scenario_on("kernel")) bench_kernel(json);
+  if (scenario_on("retrieval")) bench_retrieval_bound(json, n_requests, n_users);
+  if (scenario_on("two_phase")) bench_two_phase(json, n_requests, n_users);
+  if (scenario_on("churn")) bench_churn(json, n_requests, n_users);
+  if (scenario_on("obs")) bench_obs(json, n_requests, n_users);
+  if (scenario_on("slo")) bench_slo(json, n_requests, n_users);
+  if (scenario_on("faults")) bench_faults(json, n_requests, n_users);
+  if (scenario_on("encode")) bench_encode_bound(json, n_requests, n_users);
 
-  Workload w(WorkloadConfig{}, n_users, n_requests);
-  std::printf("\n-- requests/sec vs batch size and thread count (default workload) --\n");
-  std::printf("  %8s %8s %12s %10s %10s %10s\n", "threads", "batch", "req/s", "avgB", "p50ms",
-              "p95ms");
-  std::fprintf(json, "  \"grid\": [\n");
-  bool first = true;
-  for (std::size_t threads : {1u, 2u, 4u}) {
-    for (std::size_t batch : {1u, 8u, 16u}) {
-      serve::StatsSnapshot s;
-      const double rps = run_engine(w, /*shards=*/2, threads, batch, &s);
-      std::printf("  %8zu %8zu %12.0f %10.1f %10.2f %10.2f\n", threads, batch, rps,
-                  s.avg_batch_size, s.p50_latency_ms, s.p95_latency_ms);
-      std::fprintf(json, "%s    {\"threads\": %zu, \"batch\": %zu, \"rps\": %.0f}",
-                   first ? "" : ",\n", threads, batch, rps);
-      first = false;
+  if (scenario_on("grid")) {
+    Workload w(WorkloadConfig{}, n_users, n_requests);
+    std::printf("\n-- requests/sec vs batch size and thread count (default workload) --\n");
+    std::printf("  %8s %8s %12s %10s %10s %10s\n", "threads", "batch", "req/s", "avgB", "p50ms",
+                "p95ms");
+    std::fprintf(json, "  \"grid\": [\n");
+    bool first = true;
+    for (std::size_t threads : {1u, 2u, 4u}) {
+      for (std::size_t batch : {1u, 8u, 16u}) {
+        serve::StatsSnapshot s;
+        const double rps = run_engine(w, /*shards=*/2, threads, batch, &s);
+        std::printf("  %8zu %8zu %12.0f %10.1f %10.2f %10.2f\n", threads, batch, rps,
+                    s.avg_batch_size, s.p50_latency_ms, s.p95_latency_ms);
+        std::fprintf(json, "%s    {\"threads\": %zu, \"batch\": %zu, \"rps\": %.0f}",
+                     first ? "" : ",\n", threads, batch, rps);
+        first = false;
+      }
     }
+    std::fprintf(json, "\n  ],\n");
   }
-  std::fprintf(json, "\n  ]\n}\n");
+  // Fixed final key: the JSON stays valid under any scenario subset (every
+  // section, including the grid, ends with a trailing comma).
+  std::fprintf(json, "  \"scenario\": \"%s\"\n}\n", scenario != nullptr ? scenario : "all");
   std::fclose(json);
   std::printf("\ncache: decoded-OVT LRU; per-stage timings in BENCH_serve.json; "
               "raise NVCIM_SERVE_REQUESTS for steadier numbers\n");

@@ -68,6 +68,13 @@ class Registry {
                        const std::string& help = "",
                        const HistogramConfig& cfg = HistogramConfig{});
 
+  /// Drop one labelled series from a family (cardinality control, e.g.
+  /// retiring an evicted tenant's ``nvcim_tenant_*`` series). Returns true
+  /// if a series was removed. The family itself stays registered — its
+  /// ``# TYPE`` line keeps appearing — and the removed metric objects are
+  /// destroyed, so callers must not hold cached pointers to them.
+  bool remove_series(const std::string& name, const Labels& labels);
+
   /// Prometheus text exposition format (histograms: cumulative non-empty
   /// ``_bucket`` series plus ``le="+Inf"``, ``_sum`` and ``_count``).
   std::string prometheus_text() const;

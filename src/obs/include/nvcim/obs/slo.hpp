@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+namespace nvcim::obs {
+
+/// Three-state health verdict used by burn-rate evaluation and rolled up
+/// into the engine-level HealthReport. Ordered by severity so worst() is
+/// just a max.
+enum class HealthState { Ok = 0, Warning = 1, Critical = 2 };
+
+const char* to_string(HealthState s);
+
+inline HealthState worst(HealthState a, HealthState b) { return a > b ? a : b; }
+
+/// Dual-window burn-rate alerting (the SRE-workbook shape): an SLO burns at
+/// rate `bad_fraction / error_budget` where error_budget = 1 - objective.
+/// Burn 1.0 = exactly spending the budget; burn 10 over a 5-minute window
+/// means the monthly budget would be gone in ~3 days. A state only fires
+/// when BOTH the fast and the slow window exceed the threshold: the slow
+/// window de-flaps (a 2-second blip cannot trip it), the fast window makes
+/// recovery prompt (once the last minute is clean the alert clears even
+/// though the 5-minute window still remembers the incident).
+struct BurnRateConfig {
+  double fast_window_ms = 60.0 * 1000.0;    ///< prompt signal + fast recovery
+  double slow_window_ms = 300.0 * 1000.0;   ///< de-flapping confirmation
+  double warning_burn = 2.0;                ///< both windows >= this => Warning
+  double critical_burn = 10.0;              ///< both windows >= this => Critical
+};
+
+/// One window's worth of SLI observations: `total` events of which `bad`
+/// violated the objective (latency over threshold, degraded response,
+/// missed deadline, ...).
+struct SloSample {
+  std::uint64_t total = 0;
+  std::uint64_t bad = 0;
+
+  double bad_fraction() const {
+    return total == 0 ? 0.0 : static_cast<double>(bad) / static_cast<double>(total);
+  }
+};
+
+/// Evaluated burn for one SLO: per-window burn rates plus the combined
+/// dual-window state.
+struct BurnRate {
+  double fast = 0.0;
+  double slow = 0.0;
+  HealthState state = HealthState::Ok;
+};
+
+/// Pure function of its inputs (no clocks, no globals) so the health state
+/// machine is unit-testable with synthetic windows. An objective of 1.0
+/// (zero error budget) burns infinitely fast on any bad event; an empty
+/// window burns at 0 (no traffic is not an outage).
+BurnRate evaluate_burn_rate(const SloSample& fast, const SloSample& slow,
+                            double objective, const BurnRateConfig& cfg);
+
+}  // namespace nvcim::obs

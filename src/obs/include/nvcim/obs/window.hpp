@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "nvcim/obs/histogram.hpp"
+
+namespace nvcim::obs {
+
+class Counter;
+
+/// Geometry of a rolling delta-ring: cumulative snapshots of a source
+/// Histogram / Counter are captured at most once per `bucket_ms`, and a
+/// windowed view is the difference between the live value and the snapshot
+/// taken just before the window opened. `buckets * bucket_ms` is the primary
+/// (fast) window; the ring retains `retention_ms` of history so wider
+/// (slow) windows — e.g. the SLO burn-rate 5-minute window — can be read
+/// from the same ring.
+struct WindowConfig {
+  double bucket_ms = 5000.0;     ///< snapshot cadence
+  std::size_t buckets = 12;      ///< fast window = buckets * bucket_ms (60 s)
+  double retention_ms = 300000;  ///< history kept for slow/burn-rate windows
+  double window_ms() const { return bucket_ms * static_cast<double>(buckets); }
+};
+
+/// Cumulative point-in-time copy of a Histogram's bucket counts. Cheap to
+/// subtract bucket-wise; carries no geometry (that stays with the source).
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  static HistogramSnapshot of(const Histogram& h);
+};
+
+/// The difference between two cumulative snapshots of one histogram: the
+/// distribution of values recorded inside a time window. Quantiles are
+/// rank-interpolated over the delta bucket counts using the source
+/// histogram's bucket geometry (no exact min/max is available for a
+/// window, so estimates clamp to bucket bounds only).
+class WindowDelta {
+ public:
+  WindowDelta() = default;
+  WindowDelta(const Histogram* geometry, std::vector<std::uint64_t> counts,
+              std::uint64_t count, double sum, double span_ms);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  /// Wall-clock span the delta covers; >= the requested window when the
+  /// ring has enough history, shorter during warm-up (delta since start).
+  double span_ms() const { return span_ms_; }
+  double rate_per_sec() const {
+    return span_ms_ > 0.0 ? static_cast<double>(count_) / (span_ms_ / 1000.0) : 0.0;
+  }
+  double value_at_quantile(double q) const;
+  /// Number of recorded values <= v (bucket-resolution: counts every bucket
+  /// whose upper bound is <= v, plus the bucket containing v in full when v
+  /// reaches past its lower bound — conservative for SLO "good" counts).
+  std::uint64_t count_le(double v) const;
+
+ private:
+  const Histogram* geom_ = nullptr;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double span_ms_ = 0.0;
+};
+
+/// Rolling window over one Histogram. Not internally locked: callers
+/// serialise advance()/delta() externally (EngineStats does so under its
+/// stats mutex). The source histogram itself may be concurrently written —
+/// snapshots use its relaxed-atomic reads.
+///
+/// advance() is lazy-clock: it takes `now_ms` explicitly so tests can drive
+/// a deterministic clock and the serving engine can advance on its read
+/// path only (no ticker thread, zero record-path overhead).
+class HistogramWindow {
+ public:
+  HistogramWindow(const Histogram* source, WindowConfig cfg);
+
+  /// Capture a cumulative snapshot if the current bucket has elapsed, and
+  /// drop history older than retention. Idempotent within a bucket: returns
+  /// true only when a snapshot was captured (a bucket boundary crossed), so
+  /// callers can recompute derived gauges exactly once per bucket.
+  bool advance(double now_ms);
+
+  /// Distribution recorded in (now - window_ms, now]. Falls back to the
+  /// oldest retained snapshot (or zero — i.e. since start) while the ring
+  /// is still warming up.
+  WindowDelta delta(double now_ms, double window_ms) const;
+  /// Primary-window convenience: delta over cfg.window_ms().
+  WindowDelta delta(double now_ms) const { return delta(now_ms, cfg_.window_ms()); }
+
+  const WindowConfig& config() const { return cfg_; }
+  std::size_t ring_size() const { return ring_.size(); }
+
+ private:
+  struct Entry {
+    double ts_ms;
+    HistogramSnapshot snap;
+  };
+
+  const Histogram* src_;
+  WindowConfig cfg_;
+  std::deque<Entry> ring_;
+  double start_ms_ = 0.0;
+  bool started_ = false;
+};
+
+/// Rolling window over one monotone Counter (same lazy-clock discipline).
+class CounterWindow {
+ public:
+  struct Delta {
+    double value = 0.0;
+    double span_ms = 0.0;
+    double rate_per_sec() const {
+      return span_ms > 0.0 ? value / (span_ms / 1000.0) : 0.0;
+    }
+  };
+
+  CounterWindow(const Counter* source, WindowConfig cfg);
+
+  /// Same boundary discipline as HistogramWindow::advance.
+  bool advance(double now_ms);
+  Delta delta(double now_ms, double window_ms) const;
+  Delta delta(double now_ms) const { return delta(now_ms, cfg_.window_ms()); }
+
+ private:
+  struct Entry {
+    double ts_ms;
+    double value;
+  };
+
+  const Counter* src_;
+  WindowConfig cfg_;
+  std::deque<Entry> ring_;
+  double start_ms_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace nvcim::obs

@@ -106,6 +106,13 @@ Histogram& Registry::histogram(const std::string& name, const Labels& labels,
   return *s.histogram;
 }
 
+bool Registry::remove_series(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto fam = families_.find(name);
+  if (fam == families_.end()) return false;
+  return fam->second.series.erase(series_key(normalized(labels))) > 0;
+}
+
 std::string Registry::prometheus_text() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;

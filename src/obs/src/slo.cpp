@@ -1,0 +1,43 @@
+#include "nvcim/obs/slo.hpp"
+
+#include <limits>
+
+namespace nvcim::obs {
+
+namespace {
+
+double burn_of(const SloSample& s, double objective) {
+  if (s.total == 0 || s.bad == 0) return 0.0;
+  const double budget = 1.0 - objective;
+  if (budget <= 0.0) return std::numeric_limits<double>::infinity();
+  return s.bad_fraction() / budget;
+}
+
+}  // namespace
+
+const char* to_string(HealthState s) {
+  switch (s) {
+    case HealthState::Ok:
+      return "ok";
+    case HealthState::Warning:
+      return "warning";
+    case HealthState::Critical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+BurnRate evaluate_burn_rate(const SloSample& fast, const SloSample& slow,
+                            double objective, const BurnRateConfig& cfg) {
+  BurnRate r;
+  r.fast = burn_of(fast, objective);
+  r.slow = burn_of(slow, objective);
+  if (r.fast >= cfg.critical_burn && r.slow >= cfg.critical_burn) {
+    r.state = HealthState::Critical;
+  } else if (r.fast >= cfg.warning_burn && r.slow >= cfg.warning_burn) {
+    r.state = HealthState::Warning;
+  }
+  return r;
+}
+
+}  // namespace nvcim::obs

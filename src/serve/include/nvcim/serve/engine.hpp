@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "nvcim/core/framework.hpp"
+#include "nvcim/obs/httpd.hpp"
 #include "nvcim/obs/trace.hpp"
+#include "nvcim/serve/health.hpp"
 #include "nvcim/serve/lru_cache.hpp"
 #include "nvcim/serve/ovt_store.hpp"
 #include "nvcim/serve/request.hpp"
@@ -40,6 +42,30 @@ struct ScrubberConfig {
   /// every round). Small values bound the serving interference per round.
   std::size_t subarrays_per_round = 1;
   ScrubPolicy policy;  ///< detection threshold, repair/migrate toggles
+};
+
+/// Embedded introspection server: when enabled, start() binds a local HTTP
+/// endpoint serving /metrics (Prometheus text), /metrics.json, /healthz,
+/// /readyz, /debug/engine, /debug/slow and /debug/trace. Port 0 binds an
+/// ephemeral port — read it back via ServingEngine::introspection_port().
+struct IntrospectionConfig {
+  bool enabled = false;
+  std::string bind = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t handler_threads = 2;
+};
+
+/// Declarative SLOs evaluated by the engine's health monitor over dual
+/// rolling windows (see obs::BurnRateConfig): a latency objective ("99% of
+/// requests under latency_threshold_ms"), an availability objective (a
+/// degraded response spends error budget) and a deadline objective (late
+/// completions and in-queue expiries spend budget).
+struct SloConfig {
+  double latency_threshold_ms = 50.0;
+  double latency_objective = 0.99;
+  double availability_objective = 0.999;
+  double deadline_objective = 0.99;
+  obs::BurnRateConfig burn;
 };
 
 struct ServingConfig {
@@ -87,6 +113,13 @@ struct ServingConfig {
   /// >0: requests slower than this leave a SlowRequest exemplar (latency +
   /// queue-wait + the carrying batch's stage breakdown) in EngineStats.
   double slow_request_ms = 0.0;
+  /// Embedded HTTP admin endpoint (off by default).
+  IntrospectionConfig introspection;
+  /// SLO objectives behind health() / the /healthz verdict.
+  SloConfig slo;
+  /// Rolling-window geometry for the `nvcim_*_1m` families and
+  /// StatsSnapshot::last_minute (retention must cover slo.burn windows).
+  obs::WindowConfig window;
   retrieval::Algorithm algorithm = retrieval::Algorithm::SSA;
   retrieval::ScaledSearchConfig ssa;
   cim::CrossbarConfig crossbar;
@@ -306,6 +339,17 @@ class ServingEngine {
   /// Decoded prompt for (user, ovt) through the LRU cache.
   std::shared_ptr<const Matrix> prompt(std::size_t user_id, std::size_t ovt_index);
 
+  /// One machine-readable health verdict: SLO burn rates over dual rolling
+  /// windows, device-fleet subarray health, queue saturation and the
+  /// pending-admission backlog (the /healthz / /readyz backend — callable
+  /// without the HTTP server). Advances the rolling windows as a side
+  /// effect (lazy-clock maintenance).
+  HealthReport health() const;
+
+  /// Port the introspection server actually bound (resolves
+  /// IntrospectionConfig::port == 0), or 0 when the server is not running.
+  std::uint16_t introspection_port() const;
+
   std::size_t n_users() const;
   const ShardedOvtStore& store() const { return store_; }
   /// Mutable store access for fault injection (tests, benches, chaos
@@ -458,7 +502,7 @@ class ServingEngine {
   /// Routed shard passes so far — drives the recall-vs-exact sampling cadence.
   std::atomic<std::size_t> routed_passes_{0};
 
-  std::mutex queue_mu_;
+  mutable std::mutex queue_mu_;  ///< mutable: health() reads depth under it
   std::condition_variable queue_cv_;      ///< workers wait for work / shutdown
   std::condition_variable capacity_cv_;   ///< producers wait for queue space
   /// Deadline/priority-aware per-tenant request queue (guarded by queue_mu_;
@@ -489,8 +533,15 @@ class ServingEngine {
   /// size IS the backpressure bound's measure.
   std::unordered_map<std::size_t, std::shared_ptr<AdmissionJoin>> admissions_;
 
+  /// Register the introspection routes and start the embedded server
+  /// (no-op unless IntrospectionConfig::enabled). Defined in
+  /// introspection.cpp alongside the endpoint handlers.
+  void start_introspection();
+  void stop_introspection();
+
   EngineStats stats_;
   obs::Tracer tracer_;
+  std::unique_ptr<obs::HttpServer> http_;
   std::atomic<std::uint64_t> next_batch_id_{0};  ///< links batch/stage/shard spans
   std::atomic<std::uint64_t> next_request_id_{1};  ///< RequestHandle ids (0 = invalid)
 };

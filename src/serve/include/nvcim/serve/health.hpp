@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nvcim/obs/slo.hpp"
+
+namespace nvcim::serve {
+
+/// One declarative SLO's evaluated burn state.
+struct SloStatus {
+  std::string name;        ///< "latency" | "availability" | "deadline"
+  double objective = 0.0;
+  obs::BurnRate burn;
+};
+
+/// The engine's one machine-readable health verdict, combining SLO burn
+/// rates (dual-window), device health from the scrubber, queue saturation
+/// and the pending-admission backlog. Backs /healthz (Critical => 503) and
+/// /readyz (ready => 200).
+struct HealthReport {
+  obs::HealthState state = obs::HealthState::Ok;
+  /// Workers up, store built, staged admissions drained.
+  bool ready = false;
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t pending_admissions = 0;
+  // Device fleet view (from ShardedOvtStore subarray health).
+  std::size_t subarrays_total = 0;
+  std::size_t subarrays_degraded = 0;  ///< includes failed
+  std::size_t subarrays_failed = 0;
+  std::size_t subarrays_quarantined = 0;
+  std::vector<SloStatus> slos;
+  /// Human-readable contributing causes for any non-Ok state.
+  std::vector<std::string> reasons;
+
+  std::string json() const;
+};
+
+}  // namespace nvcim::serve

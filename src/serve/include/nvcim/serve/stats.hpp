@@ -6,11 +6,34 @@
 #include <deque>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "nvcim/obs/metrics.hpp"
+#include "nvcim/obs/slo.hpp"
+#include "nvcim/obs/window.hpp"
 
 namespace nvcim::serve {
+
+/// Rolling-window view of the last `span_ms` of traffic (the primary window
+/// is ~1 minute by default — see obs::WindowConfig). All rates are computed
+/// from delta-ring snapshots, so they decay as the incident leaves the
+/// window instead of being diluted into lifetime averages.
+struct WindowStats {
+  double span_ms = 0.0;          ///< actual span covered (shorter at warm-up)
+  std::size_t requests = 0;      ///< requests completed inside the window
+  double throughput_rps = 0.0;
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double queue_wait_p95_ms = 0.0;
+  /// (expired + rejected) / (requests + expired + rejected) in the window.
+  double error_rate = 0.0;
+  /// Degraded responses / requests in the window.
+  double degraded_rate = 0.0;
+  /// Late completions / requests in the window.
+  double deadline_miss_rate = 0.0;
+};
 
 /// Aggregate view of an engine's counters at one instant.
 struct StatsSnapshot {
@@ -107,6 +130,12 @@ struct StatsSnapshot {
   // Repair wall-clock percentiles (scrub passes that found degraded columns).
   double repair_p50_ms = 0.0;
   double repair_p95_ms = 0.0;
+  /// Tenants whose labelled `nvcim_tenant_*` series were retired on eviction.
+  std::size_t tenants_retired = 0;
+  /// Queue depth right now (the live gauge, vs the high-water mark above).
+  std::size_t queue_depth = 0;
+  /// Rolling view over the primary (~1 minute) window.
+  WindowStats last_minute;
 };
 
 /// One slow-request exemplar: a request whose latency crossed the engine's
@@ -129,9 +158,18 @@ struct SlowRequest {
 /// merges, not sort-under-mutex over an unbounded exact vector), counters
 /// and gauges live in an obs::Registry with per-tenant labels, and the
 /// whole set exposes as Prometheus text / JSON via registry().
+/// One window's worth of SLI samples for the SLO burn-rate evaluator, plus
+/// the derived WindowStats (same deltas, read once).
+struct WindowedSli {
+  obs::SloSample latency;       ///< bad = completions over the threshold
+  obs::SloSample availability;  ///< bad = degraded responses
+  obs::SloSample deadline;      ///< bad = late completions + in-queue expiries
+  WindowStats stats;
+};
+
 class EngineStats {
  public:
-  EngineStats();
+  explicit EngineStats(obs::WindowConfig window = obs::WindowConfig{});
 
   void start_clock();
   /// Freeze the throughput clock (idempotent): snapshots taken after the
@@ -143,8 +181,9 @@ class EngineStats {
   void record_request(std::size_t user_id, double latency_ms, double queue_wait_ms,
                       bool cache_hit);
 
-  /// Record the queue depth observed at one enqueue (drives the
-  /// queue_depth_hwm gauge).
+  /// Record the queue depth observed at one enqueue/dequeue: sets the live
+  /// `nvcim_queue_depth` gauge and advances the `nvcim_queue_depth_hwm`
+  /// high-water mark.
   void record_queue_depth(std::size_t depth);
 
   void record_batch(std::size_t batch_size);
@@ -213,6 +252,33 @@ class EngineStats {
   void record_slow_request(const SlowRequest& slow);
   std::vector<SlowRequest> slow_requests() const;
 
+  // ---- Per-tenant series lifecycle (cardinality control) ----
+  /// Retire an evicted tenant's labelled `nvcim_tenant_*` series from the
+  /// registry and bump `nvcim_tenants_retired_total`. In-flight stragglers
+  /// for a retired tenant keep recording into the global (unlabelled)
+  /// families only. Idempotent.
+  void retire_tenant(std::size_t user_id);
+  /// Re-admitting a previously retired tenant id starts a fresh labelled
+  /// series (the cumulative per-tenant history restarts from zero).
+  void revive_tenant(std::size_t user_id);
+
+  // ---- Rolling windows (lazy-clock: advanced on read paths only) ----
+  /// Milliseconds since this stats object was constructed (steady clock) —
+  /// the time base the windows run on.
+  double now_ms() const;
+  /// Advance the delta rings to `now_ms` and, once per window bucket,
+  /// refresh the derived `nvcim_*_1m` gauges. Called from the engine's read
+  /// paths (snapshot, health, /metrics); never from the record path.
+  void advance_windows(double now_ms) const;
+  /// advance_windows(now_ms()) — the real-clock form.
+  void refresh_windows() const { advance_windows(now_ms()); }
+  /// Windowed SLI samples + stats over (now - window_ms, now]. Reads the
+  /// rings as-is; call advance_windows first (or use the real-clock
+  /// windowed() below).
+  WindowedSli windowed_at(double now_ms, double latency_threshold_ms,
+                          double window_ms) const;
+  WindowedSli windowed(double latency_threshold_ms, double window_ms) const;
+
   StatsSnapshot snapshot() const;
 
   /// The metric registry behind this stats object — Prometheus text /
@@ -233,8 +299,13 @@ class EngineStats {
     obs::Counter* deadline_missed = nullptr;
   };
   /// Cached per-tenant metric pointers (creates the labelled series on
-  /// first sight). Caller must hold mu_.
-  TenantMetrics& tenant_locked(std::size_t user_id);
+  /// first sight); nullptr for a retired tenant — stragglers must not
+  /// resurrect series that were just removed from the registry. Caller must
+  /// hold mu_.
+  TenantMetrics* tenant_locked(std::size_t user_id);
+
+  /// Derived WindowStats over one window; caller must hold mu_.
+  WindowStats window_stats_locked(double now_ms, double window_ms) const;
 
   obs::Registry registry_;
   // Hot metrics, owned by the registry (stable pointers, lock-free writes).
@@ -278,15 +349,37 @@ class EngineStats {
   obs::Counter* subarrays_quarantined_;
   obs::Counter* degraded_responses_;
   obs::Histogram* repair_latency_;
+  obs::Gauge* queue_depth_;        ///< live queue depth (vs the HWM above)
+  obs::Counter* tenants_retired_;
+  // Derived rolling-window gauges, refreshed once per window bucket.
+  obs::Gauge* throughput_1m_;
+  obs::Gauge* latency_p50_1m_;
+  obs::Gauge* latency_p95_1m_;
+  obs::Gauge* latency_p99_1m_;
+  obs::Gauge* error_rate_1m_;
+  obs::Gauge* degraded_rate_1m_;
+  obs::Gauge* deadline_miss_rate_1m_;
 
-  mutable std::mutex mu_;  ///< guards clock state, shard/tenant caches, slow_
+  obs::WindowConfig window_cfg_;
+  Clock::time_point epoch_;  ///< zero point of the windows' ms clock
+
+  mutable std::mutex mu_;  ///< guards clock state, shard/tenant caches, slow_, windows
   Clock::time_point start_{};
   Clock::time_point stop_{};
   bool started_ = false;
   bool stopped_ = false;
   std::vector<obs::Counter*> shard_ms_;  ///< per-shard labelled counters
   std::unordered_map<std::size_t, TenantMetrics> tenants_;
+  std::unordered_set<std::size_t> retired_tenants_;
   std::deque<SlowRequest> slow_;
+  // Delta rings over the hot metrics (mutable: advanced lazily from const
+  // read paths, under mu_).
+  mutable obs::HistogramWindow latency_window_;
+  mutable obs::HistogramWindow queue_wait_window_;
+  mutable obs::CounterWindow degraded_window_;
+  mutable obs::CounterWindow deadline_window_;
+  mutable obs::CounterWindow expired_window_;
+  mutable obs::CounterWindow rejected_window_;
 };
 
 }  // namespace nvcim::serve

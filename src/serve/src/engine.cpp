@@ -35,6 +35,7 @@ ServingEngine::ServingEngine(llm::TinyLM& model, const data::LampTask& task, Ser
       store_(store_config(cfg)),
       cache_(cfg.cache_capacity),
       sched_(cfg.scheduler),
+      stats_(cfg.window),
       tracer_(cfg.tracing) {
   NVCIM_CHECK_MSG(cfg_.n_threads > 0, "engine needs at least one worker");
   NVCIM_CHECK_MSG(cfg_.max_batch > 0, "max_batch must be positive");
@@ -56,8 +57,13 @@ void ServingEngine::add_deployment(std::size_t user_id, core::TrainedDeployment 
     generation = next_generation_++;
     deployments_[user_id] = DepRef{std::move(owned), generation};
   }
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  live_generations_.insert(generation);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    live_generations_.insert(generation);
+  }
+  // A re-used tenant id gets fresh labelled series even if a prior
+  // incarnation was retired on eviction.
+  stats_.revive_tenant(user_id);
 }
 
 AdmissionHandle ServingEngine::admit(std::size_t user_id, core::TrainedDeployment deployment,
@@ -123,6 +129,7 @@ bool ServingEngine::admit_user_impl(std::size_t user_id, core::TrainedDeployment
                     "user " << user_id << " already deployed");
     generation = next_generation_++;
     deployments_[user_id] = DepRef{owned, generation};
+    stats_.revive_tenant(user_id);  // re-admitted id => fresh labelled series
   } catch (...) {
     if (join != nullptr) {
       {
@@ -332,6 +339,9 @@ void ServingEngine::evict_user(std::size_t user_id) {
     });
   }
   stats_.record_eviction();
+  // Cardinality control: drop the evicted tenant's labelled series so a
+  // churn workload cannot grow the exposition without bound.
+  stats_.retire_tenant(user_id);
 }
 
 std::size_t ServingEngine::rebalance() {
@@ -504,6 +514,7 @@ void ServingEngine::start() {
   stopping_ = false;
   running_ = true;
   stats_.start_clock();
+  stats_.refresh_windows();  // seed the delta rings at serving start
   workers_.reserve(cfg_.n_threads);
   for (std::size_t t = 0; t < cfg_.n_threads; ++t)
     workers_.emplace_back([this] { worker_loop(); });
@@ -516,6 +527,7 @@ void ServingEngine::start() {
     }
     scrubber_ = std::thread([this] { scrubber_loop(); });
   }
+  start_introspection();
 }
 
 void ServingEngine::stop() {
@@ -558,11 +570,15 @@ void ServingEngine::stop() {
     finish_error(r, std::make_exception_ptr(EngineStopped(
                         "engine stopped with request " + std::to_string(r.id) +
                         " still queued")));
+  stats_.record_queue_depth(0);  // queue fully drained
   running_ = false;
   // Freeze the throughput clock: every request is accounted for once the
   // workers have drained, so later snapshots stay stable instead of diving
   // toward zero against a still-running wall clock.
   stats_.stop_clock();
+  // The admin endpoint stays up through the drain (a scrape during shutdown
+  // sees the final counters) and goes down with the engine.
+  stop_introspection();
 }
 
 void ServingEngine::finish(QueuedRequest& req, Response&& resp) {
@@ -652,6 +668,7 @@ bool ServingEngine::cancel(std::uint64_t request_id) {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (!sched_.cancel(request_id, &out)) return false;
+    stats_.record_queue_depth(sched_.size());
   }
   capacity_cv_.notify_one();  // one queue slot freed
   finish_error(out, std::make_exception_ptr(Cancelled(
@@ -741,6 +758,9 @@ void ServingEngine::worker_loop() {
           std::move(late.begin(), late.end(), std::back_inserter(expired));
           if (!stopping_) batch = sched_.pop_batch(cfg_.max_batch, now);
         }
+        // Dequeue/expiry shrank the queue: keep the live gauge honest (the
+        // HWM half of record_queue_depth is monotone, so this is set-only).
+        stats_.record_queue_depth(sched_.size());
       }
     }
     if (!expired.empty()) {

@@ -12,7 +12,7 @@ obs::HistogramConfig latency_buckets() { return obs::HistogramConfig{}; }
 
 }  // namespace
 
-EngineStats::EngineStats()
+EngineStats::EngineStats(obs::WindowConfig window)
     : latency_(&registry_.histogram("nvcim_request_latency_ms", {},
                                     "submit -> response latency per request (ms)",
                                     latency_buckets())),
@@ -93,7 +93,34 @@ EngineStats::EngineStats()
                                              "responses served from degraded columns")),
       repair_latency_(&registry_.histogram("nvcim_repair_latency_ms", {},
                                            "repair-and-migrate wall-clock per scrub pass (ms)",
-                                           latency_buckets())) {}
+                                           latency_buckets())),
+      queue_depth_(&registry_.gauge("nvcim_queue_depth", {},
+                                    "requests queued right now")),
+      tenants_retired_(&registry_.counter("nvcim_tenants_retired_total", {},
+                                          "evicted tenants whose labelled series were retired")),
+      throughput_1m_(&registry_.gauge("nvcim_throughput_rps_1m", {},
+                                      "requests/s over the primary rolling window")),
+      latency_p50_1m_(&registry_.gauge("nvcim_request_latency_ms_1m",
+                                       {{"quantile", "0.5"}},
+                                       "windowed latency quantiles (primary window)")),
+      latency_p95_1m_(&registry_.gauge("nvcim_request_latency_ms_1m",
+                                       {{"quantile", "0.95"}})),
+      latency_p99_1m_(&registry_.gauge("nvcim_request_latency_ms_1m",
+                                       {{"quantile", "0.99"}})),
+      error_rate_1m_(&registry_.gauge("nvcim_error_rate_1m", {},
+                                      "(expired+rejected)/(requests+expired+rejected) over the window")),
+      degraded_rate_1m_(&registry_.gauge("nvcim_degraded_rate_1m", {},
+                                         "degraded responses per request over the window")),
+      deadline_miss_rate_1m_(&registry_.gauge("nvcim_deadline_miss_rate_1m", {},
+                                              "late completions per request over the window")),
+      window_cfg_(window),
+      epoch_(Clock::now()),
+      latency_window_(latency_, window),
+      queue_wait_window_(queue_wait_, window),
+      degraded_window_(degraded_responses_, window),
+      deadline_window_(deadline_missed_, window),
+      expired_window_(expired_, window),
+      rejected_window_(rejected_, window) {}
 
 void EngineStats::start_clock() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -110,7 +137,8 @@ void EngineStats::stop_clock() {
   }
 }
 
-EngineStats::TenantMetrics& EngineStats::tenant_locked(std::size_t user_id) {
+EngineStats::TenantMetrics* EngineStats::tenant_locked(std::size_t user_id) {
+  if (retired_tenants_.count(user_id) > 0) return nullptr;
   TenantMetrics& tm = tenants_[user_id];
   if (tm.requests == nullptr) {
     const obs::Labels labels{{"tenant", std::to_string(user_id)}};
@@ -129,7 +157,7 @@ EngineStats::TenantMetrics& EngineStats::tenant_locked(std::size_t user_id) {
     tm.deadline_missed = &registry_.counter("nvcim_tenant_deadline_missed_total", labels,
                                             "per-tenant requests completed late");
   }
-  return tm;
+  return &tm;
 }
 
 void EngineStats::record_request(std::size_t user_id, double latency_ms,
@@ -138,20 +166,18 @@ void EngineStats::record_request(std::size_t user_id, double latency_ms,
   queue_wait_->record(queue_wait_ms);
   service_->record(std::max(0.0, latency_ms - queue_wait_ms));
   (cache_hit ? cache_hits_ : cache_misses_)->inc();
-  obs::Histogram* tenant_latency = nullptr;
-  obs::Histogram* tenant_queue_wait = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    TenantMetrics& tm = tenant_locked(user_id);
-    tm.requests->inc();
-    tenant_latency = tm.latency;
-    tenant_queue_wait = tm.queue_wait;
+  // Tenant histograms are recorded under mu_: retire_tenant destroys the
+  // series objects, so a pointer must never escape the lock.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (TenantMetrics* tm = tenant_locked(user_id)) {
+    tm->requests->inc();
+    tm->latency->record(latency_ms);
+    tm->queue_wait->record(queue_wait_ms);
   }
-  tenant_latency->record(latency_ms);
-  tenant_queue_wait->record(queue_wait_ms);
 }
 
 void EngineStats::record_queue_depth(std::size_t depth) {
+  queue_depth_->set(static_cast<double>(depth));
   queue_depth_hwm_->update_max(static_cast<double>(depth));
 }
 
@@ -191,7 +217,8 @@ void EngineStats::record_two_phase(std::size_t examined, std::size_t possible) {
 
 void EngineStats::record_tenant_candidates(std::size_t user_id, std::size_t candidates) {
   std::lock_guard<std::mutex> lock(mu_);
-  tenant_locked(user_id).candidates->inc(static_cast<double>(candidates));
+  if (TenantMetrics* tm = tenant_locked(user_id))
+    tm->candidates->inc(static_cast<double>(candidates));
 }
 
 void EngineStats::record_recall_sample(std::size_t rows, std::size_t matches) {
@@ -217,13 +244,13 @@ void EngineStats::record_rejection() { rejected_->inc(); }
 void EngineStats::record_expired(std::size_t user_id) {
   expired_->inc();
   std::lock_guard<std::mutex> lock(mu_);
-  tenant_locked(user_id).expired->inc();
+  if (TenantMetrics* tm = tenant_locked(user_id)) tm->expired->inc();
 }
 
 void EngineStats::record_deadline_miss(std::size_t user_id) {
   deadline_missed_->inc();
   std::lock_guard<std::mutex> lock(mu_);
-  tenant_locked(user_id).deadline_missed->inc();
+  if (TenantMetrics* tm = tenant_locked(user_id)) tm->deadline_missed->inc();
 }
 
 void EngineStats::record_cancellation() { cancelled_->inc(); }
@@ -268,8 +295,106 @@ std::vector<SlowRequest> EngineStats::slow_requests() const {
   return std::vector<SlowRequest>(slow_.begin(), slow_.end());
 }
 
+void EngineStats::retire_tenant(std::size_t user_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!retired_tenants_.insert(user_id).second) return;
+  tenants_.erase(user_id);
+  const obs::Labels labels{{"tenant", std::to_string(user_id)}};
+  bool removed = false;
+  for (const char* family :
+       {"nvcim_tenant_requests_total", "nvcim_tenant_candidates_total",
+        "nvcim_tenant_request_latency_ms", "nvcim_tenant_queue_wait_ms",
+        "nvcim_tenant_requests_expired_total", "nvcim_tenant_deadline_missed_total"}) {
+    removed = registry_.remove_series(family, labels) || removed;
+  }
+  if (removed) tenants_retired_->inc();
+}
+
+void EngineStats::revive_tenant(std::size_t user_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_tenants_.erase(user_id);
+}
+
+double EngineStats::now_ms() const {
+  return std::chrono::duration<double, std::milli>(Clock::now() - epoch_).count();
+}
+
+void EngineStats::advance_windows(double now_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool boundary = latency_window_.advance(now_ms);
+  boundary = queue_wait_window_.advance(now_ms) || boundary;
+  boundary = degraded_window_.advance(now_ms) || boundary;
+  boundary = deadline_window_.advance(now_ms) || boundary;
+  boundary = expired_window_.advance(now_ms) || boundary;
+  boundary = rejected_window_.advance(now_ms) || boundary;
+  if (!boundary) return;  // gauges change only at bucket boundaries
+  const WindowStats w = window_stats_locked(now_ms, window_cfg_.window_ms());
+  throughput_1m_->set(w.throughput_rps);
+  latency_p50_1m_->set(w.p50_latency_ms);
+  latency_p95_1m_->set(w.p95_latency_ms);
+  latency_p99_1m_->set(w.p99_latency_ms);
+  error_rate_1m_->set(w.error_rate);
+  degraded_rate_1m_->set(w.degraded_rate);
+  deadline_miss_rate_1m_->set(w.deadline_miss_rate);
+}
+
+WindowStats EngineStats::window_stats_locked(double now_ms, double window_ms) const {
+  WindowStats w;
+  const obs::WindowDelta lat = latency_window_.delta(now_ms, window_ms);
+  w.span_ms = lat.span_ms();
+  w.requests = static_cast<std::size_t>(lat.count());
+  w.throughput_rps = lat.rate_per_sec();
+  if (lat.count() > 0) {
+    w.p50_latency_ms = lat.value_at_quantile(0.50);
+    w.p95_latency_ms = lat.value_at_quantile(0.95);
+    w.p99_latency_ms = lat.value_at_quantile(0.99);
+  }
+  const obs::WindowDelta qw = queue_wait_window_.delta(now_ms, window_ms);
+  if (qw.count() > 0) w.queue_wait_p95_ms = qw.value_at_quantile(0.95);
+  const double degraded = degraded_window_.delta(now_ms, window_ms).value;
+  const double missed = deadline_window_.delta(now_ms, window_ms).value;
+  const double expired = expired_window_.delta(now_ms, window_ms).value;
+  const double rejected = rejected_window_.delta(now_ms, window_ms).value;
+  const double requests = static_cast<double>(w.requests);
+  if (requests > 0.0) {
+    w.degraded_rate = degraded / requests;
+    w.deadline_miss_rate = missed / requests;
+  }
+  const double attempts = requests + expired + rejected;
+  if (attempts > 0.0) w.error_rate = (expired + rejected) / attempts;
+  return w;
+}
+
+WindowedSli EngineStats::windowed_at(double now_ms, double latency_threshold_ms,
+                                     double window_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WindowedSli sli;
+  sli.stats = window_stats_locked(now_ms, window_ms);
+  const obs::WindowDelta lat = latency_window_.delta(now_ms, window_ms);
+  sli.latency.total = lat.count();
+  const std::uint64_t good = lat.count_le(latency_threshold_ms);
+  sli.latency.bad = lat.count() > good ? lat.count() - good : 0;
+  const double degraded = degraded_window_.delta(now_ms, window_ms).value;
+  sli.availability.total = lat.count();
+  sli.availability.bad =
+      std::min<std::uint64_t>(lat.count(), static_cast<std::uint64_t>(degraded));
+  const double missed = deadline_window_.delta(now_ms, window_ms).value;
+  const double expired = expired_window_.delta(now_ms, window_ms).value;
+  sli.deadline.total = lat.count() + static_cast<std::uint64_t>(expired);
+  sli.deadline.bad = static_cast<std::uint64_t>(missed + expired);
+  return sli;
+}
+
+WindowedSli EngineStats::windowed(double latency_threshold_ms, double window_ms) const {
+  const double now = now_ms();
+  advance_windows(now);
+  return windowed_at(now, latency_threshold_ms, window_ms);
+}
+
 StatsSnapshot EngineStats::snapshot() const {
   StatsSnapshot s;
+  const double now = now_ms();
+  advance_windows(now);  // lazy window maintenance rides the read path
   s.requests = static_cast<std::size_t>(latency_->count());
   s.batches = static_cast<std::size_t>(batches_->value());
   s.cache_hits = static_cast<std::size_t>(cache_hits_->value());
@@ -287,6 +412,7 @@ StatsSnapshot EngineStats::snapshot() const {
     s.shard_retrieve_ms.resize(shard_ms_.size(), 0.0);
     for (std::size_t i = 0; i < shard_ms_.size(); ++i)
       if (shard_ms_[i] != nullptr) s.shard_retrieve_ms[i] = shard_ms_[i]->value();
+    s.last_minute = window_stats_locked(now, window_cfg_.window_ms());
   }
   if (s.requests > 0) {
     s.p50_latency_ms = latency_->value_at_quantile(0.50);
@@ -341,6 +467,8 @@ StatsSnapshot EngineStats::snapshot() const {
     s.repair_p50_ms = repair_latency_->value_at_quantile(0.50);
     s.repair_p95_ms = repair_latency_->value_at_quantile(0.95);
   }
+  s.tenants_retired = static_cast<std::size_t>(tenants_retired_->value());
+  s.queue_depth = static_cast<std::size_t>(queue_depth_->value());
   return s;
 }
 

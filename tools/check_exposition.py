@@ -1,5 +1,7 @@
 #!/usr/bin/env python3
-"""Sanity-check the observability artifacts bench_serve exports:
+"""Sanity-check the observability artifacts bench_serve exports.
+
+File mode (legacy, two positional arguments):
 
   * ``metrics_serve.prom`` — Prometheus text format. Every sample line must
     parse, every series must belong to a ``# TYPE``-declared family, and
@@ -15,7 +17,20 @@
     and must contain the span categories the engine promises (request,
     batch, stage, shard).
 
-Exit status: 0 = both artifacts well-formed, 1 = malformed, 2 = usage error.
+Live mode (``--url http://host:port`` or ``--url-file introspection_url.txt``):
+
+  Scrapes the embedded introspection server of a running engine (bench_serve
+  holds one open under ``NVCIM_SERVE_HTTP_HOLD_MS``): ``/metrics`` must pass
+  the same Prometheus checks as the file, ``/healthz`` and ``/readyz`` must
+  answer 200/503 with parseable JSON, and ``/metrics.json`` must be valid
+  JSON. With ``--reference metrics_serve.prom`` the scrape is additionally
+  compared against the in-process exposition the bench dumped: counter and
+  histogram sample lines plus all ``# TYPE`` metadata must be byte-identical;
+  gauge series must exist on both sides but their values are tolerated (the
+  rolling-window ``*_1m`` gauges may recompute at a bucket boundary between
+  the dump and the scrape).
+
+Exit status: 0 = well-formed, 1 = malformed, 2 = usage/IO error.
 """
 
 import json
@@ -58,7 +73,7 @@ def parse_labels(text):
     return labels
 
 
-def check_prometheus(path):
+def check_prometheus_text(text):
     errors = []
     types = {}
     # (family, frozen non-le labels) -> list of (le, cumulative count)
@@ -66,57 +81,55 @@ def check_prometheus(path):
     sums = set()
     counts = {}
     n_samples = 0
-    with open(path) as f:
-        for lineno, line in enumerate(f, 1):
-            line = line.rstrip("\n")
-            if not line:
-                continue
-            if line.startswith("# TYPE "):
-                parts = line.split()
-                if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
-                    errors.append(f"line {lineno}: malformed TYPE: {line!r}")
-                else:
-                    types[parts[2]] = parts[3]
-                continue
-            if line.startswith("#"):
-                continue
-            m = SAMPLE_RE.match(line)
-            if m is None:
-                errors.append(f"line {lineno}: unparseable sample: {line!r}")
-                continue
-            name = m.group("name")
-            try:
-                value = float(m.group("value").replace("+Inf", "inf"))
-            except ValueError:
-                errors.append(f"line {lineno}: bad value in: {line!r}")
-                continue
-            try:
-                labels = parse_labels(m.group("labels"))
-            except ValueError as e:
-                errors.append(f"line {lineno}: {e}")
-                continue
-            n_samples += 1
-            family = name
-            for suffix in ("_bucket", "_sum", "_count"):
-                if name.endswith(suffix) and name[: -len(suffix)] in types:
-                    family = name[: -len(suffix)]
-                    break
-            if family not in types:
-                errors.append(f"line {lineno}: series {name} has no # TYPE declaration")
-                continue
-            if types[family] == "histogram":
-                key = (family, tuple(sorted((k, v) for k, v in labels.items()
-                                            if k != "le")))
-                if name.endswith("_bucket"):
-                    if "le" not in labels:
-                        errors.append(f"line {lineno}: _bucket without le label")
-                        continue
-                    le = float("inf") if labels["le"] == "+Inf" else float(labels["le"])
-                    buckets[key].append((le, value, lineno))
-                elif name.endswith("_sum"):
-                    sums.add(key)
-                elif name.endswith("_count"):
-                    counts[key] = value
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                errors.append(f"line {lineno}: malformed TYPE: {line!r}")
+            else:
+                types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        try:
+            value = float(m.group("value").replace("+Inf", "inf"))
+        except ValueError:
+            errors.append(f"line {lineno}: bad value in: {line!r}")
+            continue
+        try:
+            labels = parse_labels(m.group("labels"))
+        except ValueError as e:
+            errors.append(f"line {lineno}: {e}")
+            continue
+        n_samples += 1
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                family = name[: -len(suffix)]
+                break
+        if family not in types:
+            errors.append(f"line {lineno}: series {name} has no # TYPE declaration")
+            continue
+        if types[family] == "histogram":
+            key = (family, tuple(sorted((k, v) for k, v in labels.items()
+                                        if k != "le")))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"line {lineno}: _bucket without le label")
+                    continue
+                le = float("inf") if labels["le"] == "+Inf" else float(labels["le"])
+                buckets[key].append((le, value, lineno))
+            elif name.endswith("_sum"):
+                sums.add(key)
+            elif name.endswith("_count"):
+                counts[key] = value
 
     for key, series in buckets.items():
         family = key[0]
@@ -145,6 +158,11 @@ def check_prometheus(path):
             errors.append(f"required family {family} missing — scrub/fault "
                           "metrics must be registered even when idle")
     return errors, n_samples
+
+
+def check_prometheus(path):
+    with open(path) as f:
+        return check_prometheus_text(f.read())
 
 
 def check_trace(path):
@@ -181,37 +199,172 @@ def check_trace(path):
     return errors, n_spans
 
 
+def split_exposition(text):
+    """Classify an exposition into (metadata lines, value-stable sample lines,
+    gauge series keys). Counters and histograms are value-stable across a
+    quiesced hold; gauges (queue depth, rolling-window percentiles) may move."""
+    types = {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) == 4:
+                types[parts[2]] = parts[3]
+    meta, stable, gauge_series = [], [], []
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            meta.append(line)
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            stable.append(line)  # unparseable — force a diff
+            continue
+        name = m.group("name")
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                family = name[: -len(suffix)]
+                break
+        if types.get(family) == "gauge":
+            gauge_series.append(f"{name}{{{m.group('labels') or ''}}}")
+        else:
+            stable.append(line)
+    return meta, stable, gauge_series
+
+
+def compare_expositions(scraped, reference):
+    """Scraped /metrics vs. the in-process dump: metadata and counter/histogram
+    sample lines byte-identical, gauge series present on both sides."""
+    errors = []
+    s_meta, s_stable, s_gauges = split_exposition(scraped)
+    r_meta, r_stable, r_gauges = split_exposition(reference)
+    if s_meta != r_meta:
+        diff = set(s_meta).symmetric_difference(r_meta)
+        errors.append(f"metadata (# HELP/# TYPE) differs: {sorted(diff)[:5]}")
+    if s_stable != r_stable:
+        diff = set(s_stable).symmetric_difference(r_stable)
+        errors.append("counter/histogram samples differ between scrape and "
+                      f"in-process exposition: {sorted(diff)[:8]}")
+    if set(s_gauges) != set(r_gauges):
+        diff = set(s_gauges).symmetric_difference(r_gauges)
+        errors.append(f"gauge series sets differ: {sorted(diff)[:8]}")
+    return errors
+
+
+def fetch(base, target, timeout=10.0):
+    from urllib.error import HTTPError
+    from urllib.request import urlopen
+    url = base.rstrip("/") + target
+    try:
+        with urlopen(url, timeout=timeout) as resp:
+            return resp.status, resp.read().decode("utf-8", "replace")
+    except HTTPError as e:  # 4xx/5xx still carry a body we want to inspect
+        return e.code, e.read().decode("utf-8", "replace")
+
+
+def check_live(base, reference_path):
+    errors = []
+
+    status, metrics_text = fetch(base, "/metrics")
+    if status != 200:
+        return [f"GET /metrics returned {status}"], 0
+    prom_errors, n_samples = check_prometheus_text(metrics_text)
+    errors.extend(f"/metrics: {e}" for e in prom_errors)
+
+    if reference_path is not None:
+        with open(reference_path) as f:
+            errors.extend(compare_expositions(metrics_text, f.read()))
+
+    for target, required_keys in (("/healthz", ("state", "ready", "slos")),
+                                  ("/readyz", ("ready",))):
+        status, body = fetch(base, target)
+        if status not in (200, 503):
+            errors.append(f"GET {target} returned {status} (want 200 or 503)")
+            continue
+        try:
+            doc = json.loads(body)
+        except json.JSONDecodeError as e:
+            errors.append(f"{target}: body is not valid JSON: {e}")
+            continue
+        for key in required_keys:
+            if key not in doc:
+                errors.append(f"{target}: JSON body missing {key!r}")
+        print(f"  {target}: {status} state={doc.get('state', '?')}")
+
+    status, body = fetch(base, "/metrics.json")
+    if status != 200:
+        errors.append(f"GET /metrics.json returned {status}")
+    else:
+        try:
+            json.loads(body)
+        except json.JSONDecodeError as e:
+            errors.append(f"/metrics.json: invalid JSON: {e}")
+
+    return errors, n_samples
+
+
+def report(label, errors, n, unit):
+    if errors:
+        print(f"{label}: {len(errors)} problem(s):")
+        for err in errors:
+            print(f"  {err}")
+        return True
+    print(f"{label}: OK ({n} {unit})")
+    return False
+
+
 def main():
-    if len(sys.argv) != 3:
-        print(f"usage: {sys.argv[0]} metrics_serve.prom trace_serve.json",
-              file=sys.stderr)
+    import argparse
+    ap = argparse.ArgumentParser(
+        description="validate bench_serve observability artifacts or a live "
+                    "introspection endpoint")
+    ap.add_argument("prom", nargs="?", help="metrics_serve.prom (file mode)")
+    ap.add_argument("trace", nargs="?", help="trace_serve.json (file mode)")
+    ap.add_argument("--url", help="base URL of a live introspection server, "
+                                  "e.g. http://127.0.0.1:9464")
+    ap.add_argument("--url-file", help="file whose first line is the base URL "
+                                       "(bench_serve writes introspection_url.txt)")
+    ap.add_argument("--reference", help="in-process exposition dump to compare "
+                                        "the live scrape against")
+    args = ap.parse_args()
+
+    if args.url or args.url_file:
+        base = args.url
+        if base is None:
+            try:
+                with open(args.url_file) as f:
+                    base = f.readline().strip()
+            except OSError as e:
+                print(f"check_exposition: cannot read {args.url_file}: {e}",
+                      file=sys.stderr)
+                return 2
+        if not base:
+            print("check_exposition: empty URL", file=sys.stderr)
+            return 2
+        try:
+            errors, n = check_live(base, args.reference)
+        except OSError as e:
+            print(f"check_exposition: cannot scrape {base}: {e}", file=sys.stderr)
+            return 2
+        return 1 if report(base, errors, n, "samples") else 0
+
+    if args.prom is None or args.trace is None:
+        ap.print_usage(sys.stderr)
         return 2
-    prom_path, trace_path = sys.argv[1], sys.argv[2]
     failed = False
     try:
-        errors, n = check_prometheus(prom_path)
+        errors, n = check_prometheus(args.prom)
     except OSError as e:
-        print(f"check_exposition: cannot read {prom_path}: {e}", file=sys.stderr)
+        print(f"check_exposition: cannot read {args.prom}: {e}", file=sys.stderr)
         return 2
-    if errors:
-        failed = True
-        print(f"{prom_path}: {len(errors)} problem(s):")
-        for err in errors:
-            print(f"  {err}")
-    else:
-        print(f"{prom_path}: OK ({n} samples)")
+    failed |= report(args.prom, errors, n, "samples")
     try:
-        errors, n = check_trace(trace_path)
+        errors, n = check_trace(args.trace)
     except OSError as e:
-        print(f"check_exposition: cannot read {trace_path}: {e}", file=sys.stderr)
+        print(f"check_exposition: cannot read {args.trace}: {e}", file=sys.stderr)
         return 2
-    if errors:
-        failed = True
-        print(f"{trace_path}: {len(errors)} problem(s):")
-        for err in errors:
-            print(f"  {err}")
-    else:
-        print(f"{trace_path}: OK ({n} spans)")
+    failed |= report(args.trace, errors, n, "spans")
     return 1 if failed else 0
 
 
